@@ -1,0 +1,65 @@
+"""Benchmark-harness plumbing.
+
+Every experiment module computes its paper artifact (table or figure
+series), registers the rendered text via :func:`register_report`, and
+exposes at least one ``benchmark``-fixture test so the module participates
+in ``pytest benchmarks/ --benchmark-only``.
+
+Reports are written to ``benchmarks/results/<slug>.txt`` as they are
+produced and echoed into the terminal summary at the end of the run, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+full reproduction next to pytest-benchmark's timing table.
+
+Set ``REPRO_BENCH_SIZE`` (tiny/small/default/large) to rescale every
+experiment; the default is ``small`` (2**13-vertex proxies), which keeps
+the complete harness under a few minutes while preserving every paper
+shape.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def bench_size() -> str:
+    """The size tier every experiment runs at."""
+    return os.environ.get("REPRO_BENCH_SIZE", "small")
+
+
+def register_report(title: str, text: str) -> None:
+    """Persist one experiment's rendered output and queue it for the
+    terminal summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction artifacts")
+    for _title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def size() -> str:
+    return bench_size()
+
+
+@pytest.fixture(scope="session")
+def suite(size):
+    """The Fig. 8a evaluation suite, generated once per session."""
+    from repro.bench.datasets import evaluation_suite
+
+    return evaluation_suite(size)

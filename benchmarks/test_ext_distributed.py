@@ -1,0 +1,78 @@
+"""Extension E1 — distributed-memory forest reduction (paper future work).
+
+Not a paper figure: the conclusions propose extending Afforest to
+distributed memory; this bench characterises the extension built in
+:mod:`repro.distributed` — exactness across world sizes, O(|V| log R)
+communication independent of |E|, and the local/communication work split.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import equivalent_labelings
+from repro.bench.report import format_table
+from repro.distributed import distributed_components
+from repro.generators import uniform_random_graph
+
+from conftest import register_report
+
+RANKS = [1, 2, 4, 8, 16]
+_SIZES = {"tiny": 2**10, "small": 2**13, "default": 2**15, "large": 2**16}
+
+
+@pytest.fixture(scope="module")
+def sweep(size):
+    n = _SIZES[size]
+    g = uniform_random_graph(n, edge_factor=16, seed=0)
+    reference = repro.connected_components(g, "sequential")
+    rows = []
+    results = {}
+    for ranks in RANKS:
+        result = distributed_components(g, ranks)
+        results[ranks] = result
+        rows.append(
+            [
+                ranks,
+                result.merge_rounds,
+                result.comm_stats.messages,
+                result.comm_stats.bytes_sent,
+                round(result.bytes_per_vertex, 1),
+                equivalent_labelings(result.labels, reference),
+            ]
+        )
+    text = format_table(
+        f"Extension E1 — distributed forest reduction (urand n={n})",
+        ["ranks", "merge_rounds", "messages", "bytes", "bytes/|V|", "exact"],
+        rows,
+    )
+    register_report("ext e1 distributed", text)
+    return g, results
+
+
+def test_ext_distributed_shapes(sweep, benchmark):
+    g, results = sweep
+    n = g.num_vertices
+
+    # Exactness at every world size (already in the table; re-assert).
+    for ranks, result in results.items():
+        assert result.num_components == results[1].num_components
+
+    # Logarithmic reduction depth.
+    assert results[16].merge_rounds == 4
+    assert results[4].merge_rounds == 2
+
+    # Communication: exactly (R-1) reduction sends + (R-1) broadcast
+    # sends of 8n bytes each.
+    for ranks, result in results.items():
+        expected = 8 * n * (ranks - 1) * 2
+        assert result.comm_stats.bytes_sent == expected, ranks
+
+    # Traffic is edge-independent: denser graph, same bytes.
+    dense = uniform_random_graph(n, edge_factor=64, seed=1)
+    assert (
+        distributed_components(dense, 8).comm_stats.bytes_sent
+        == results[8].comm_stats.bytes_sent
+    )
+
+    benchmark(lambda: distributed_components(g, 8))

@@ -1,0 +1,74 @@
+"""Fig. 6a — Linkage vs %% edges processed for four partitioning strategies.
+
+Paper shape (measured on the web graph, its slowest-converging dataset):
+neighbour sampling converges near-optimally (~83%% linkage after two
+rounds), uniform edge sampling is mid-field, and adjacency-matrix row
+sampling is slowest.
+"""
+
+import pytest
+
+from repro.analysis.convergence import convergence_curve
+from repro.bench.report import format_series
+from repro.core.strategies import STRATEGIES
+
+from conftest import register_report
+
+CHECKPOINTS = [5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+
+
+@pytest.fixture(scope="module")
+def curves(suite):
+    g = suite["web"]
+    out = {}
+    for name, strategy in STRATEGIES.items():
+        out[name] = convergence_curve(
+            g, strategy(g), strategy_name=name, resolution=40
+        )
+    series = {
+        name: [round(c.linkage_at(p), 4) for p in CHECKPOINTS]
+        for name, c in out.items()
+    }
+    text = format_series(
+        "Fig 6a — linkage vs % edges processed (web proxy)",
+        "%edges",
+        CHECKPOINTS,
+        series,
+    )
+    from repro.bench.ascii import line_plot
+
+    text += "\n\n" + line_plot(
+        CHECKPOINTS, series, width=56, height=12, x_label="%edges"
+    )
+    register_report("fig6a linkage", text)
+    return out
+
+
+def test_fig6a_strategy_ordering(curves, suite, benchmark):
+    g = suite["web"]
+    two_rounds_pct = 100.0 * 2 * g.num_vertices / g.num_directed_edges
+
+    # Neighbour sampling dominates uniform and row sampling early on.
+    for pct in (10.0, 20.0):
+        assert curves["neighbor"].linkage_at(pct) > curves["uniform"].linkage_at(pct)
+        assert curves["neighbor"].linkage_at(pct) > curves["row"].linkage_at(pct)
+
+    # Paper: ~83% linkage after two neighbour rounds.
+    assert curves["neighbor"].linkage_at(two_rounds_pct) > 0.75
+
+    # The spanning-forest subgraph is the optimum; neighbour sampling
+    # approaches it.
+    assert (
+        curves["optimal"].linkage_at(10.0)
+        >= curves["neighbor"].linkage_at(10.0) - 0.02
+    )
+
+    # Everything converges to exactly 1.0 after all edges.
+    for c in curves.values():
+        assert c.linkage[-1] == pytest.approx(1.0)
+
+    benchmark(
+        lambda: convergence_curve(
+            g, STRATEGIES["neighbor"](g), resolution=10
+        )
+    )

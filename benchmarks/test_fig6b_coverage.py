@@ -1,0 +1,65 @@
+"""Fig. 6b — Coverage vs %% edges processed for four partitioning strategies.
+
+Coverage tracks how much of the largest component has gathered into one
+tree — the signal that decides when large-component skipping can engage.
+Paper shape: neighbour sampling reaches ~80%% coverage after two rounds;
+row sampling trails badly (it must wait for the giant component's id range
+to be reached).
+"""
+
+import pytest
+
+from repro.analysis.convergence import convergence_curve
+from repro.bench.report import format_series
+from repro.core.strategies import STRATEGIES
+
+from conftest import register_report
+
+CHECKPOINTS = [5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+
+
+@pytest.fixture(scope="module")
+def curves(suite):
+    g = suite["web"]
+    out = {
+        name: convergence_curve(g, strategy(g), strategy_name=name, resolution=40)
+        for name, strategy in STRATEGIES.items()
+    }
+    series = {
+        name: [round(c.coverage_at(p), 4) for p in CHECKPOINTS]
+        for name, c in out.items()
+    }
+    text = format_series(
+        "Fig 6b — coverage vs % edges processed (web proxy)",
+        "%edges",
+        CHECKPOINTS,
+        series,
+    )
+    from repro.bench.ascii import line_plot
+
+    text += "\n\n" + line_plot(
+        CHECKPOINTS, series, width=56, height=12, x_label="%edges"
+    )
+    register_report("fig6b coverage", text)
+    return out
+
+
+def test_fig6b_coverage_ordering(curves, suite, benchmark):
+    g = suite["web"]
+    two_rounds_pct = 100.0 * 2 * g.num_vertices / g.num_directed_edges
+
+    # Paper: ~80% coverage after two neighbour rounds.
+    assert curves["neighbor"].coverage_at(two_rounds_pct) > 0.7
+
+    # Neighbour sampling covers the giant component faster than the
+    # unstructured strategies.
+    for pct in (10.0, 20.0):
+        assert curves["neighbor"].coverage_at(pct) >= curves["row"].coverage_at(pct)
+
+    # All strategies end at full coverage.
+    for c in curves.values():
+        assert c.coverage[-1] == pytest.approx(1.0)
+
+    benchmark(
+        lambda: convergence_curve(g, STRATEGIES["row"](g), resolution=10)
+    )

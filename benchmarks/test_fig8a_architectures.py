@@ -1,0 +1,99 @@
+"""Fig. 8a (architecture axis) — consistency across machine profiles.
+
+The paper's headline robustness claim: "the performance gain of Afforest
+is consistent between three different shared-memory multi-core
+architectures" (Broadwell, POWER8, Pascal), despite fundamentally
+different core counts and memory systems.
+
+Substitution S1 applies: each architecture becomes a cost-model profile
+(worker count p, per-access cost τ, per-phase fork/join overhead β) fed
+with per-phase work and imbalance measured on the simulated machine.
+Profiles are loose caricatures — 20 wide cores, 160 SMT threads with
+slower per-thread access, and a 1024-lane device with huge kernel-launch
+overhead — chosen to *stress* the consistency claim, not to flatter it.
+"""
+
+import pytest
+
+from repro.baselines import sv_simulated
+from repro.bench.report import format_table
+from repro.core import afforest_simulated
+from repro.generators import load_dataset
+from repro.parallel import SimulatedMachine
+
+from conftest import register_report
+
+#: (workers, tau, beta) per architecture profile.
+ARCHITECTURES = {
+    "broadwell": (20, 1.0, 200.0),
+    "power8": (160, 1.6, 400.0),
+    "pascal": (1024, 2.5, 20000.0),
+}
+
+DATASETS = ("road", "twitter", "kron", "urand")
+SIM_WORKERS = 8  # measurement machine; work/imbalance are ~p-independent
+
+#: Per-phase work is Θ(n)+Θ(m) for a fixed topology class, so profiles
+#: measured on the 2**10-vertex simulation extrapolate linearly to the
+#: paper's 2**27-vertex graphs.  Without this step the per-phase overhead
+#: β would dominate the wide architectures and the model would compare
+#: phase *counts* instead of work — a tiny-graph artifact no real machine
+#: at the paper's scale exhibits.
+WORK_SCALE = float(2 ** 17)
+
+
+def _phase_profile(runner):
+    """(work, imbalance) per phase, measured on the simulated machine."""
+    machine = SimulatedMachine(SIM_WORKERS, schedule="cyclic")
+    runner(machine)
+    return [(ph.work, ph.imbalance) for ph in machine.stats.phases]
+
+
+def _modeled_time(profile, workers, tau, beta):
+    total = 0.0
+    for work, imbalance in profile:
+        span = max(work * WORK_SCALE / workers * imbalance, 1.0)
+        total += span * tau + beta
+    return total
+
+
+@pytest.fixture(scope="module")
+def matrix(size):
+    tier = "tiny"  # simulated runs are interpreter-bound; tiny suffices
+    rows = []
+    speedups = {arch: {} for arch in ARCHITECTURES}
+    for dataset in DATASETS:
+        g = load_dataset(dataset, tier)
+        prof_af = _phase_profile(lambda m: afforest_simulated(g, m))
+        prof_sv = _phase_profile(lambda m: sv_simulated(g, m))
+        row = [dataset]
+        for arch, (p, tau, beta) in ARCHITECTURES.items():
+            t_af = _modeled_time(prof_af, p, tau, beta)
+            t_sv = _modeled_time(prof_sv, p, tau, beta)
+            s = t_sv / t_af
+            speedups[arch][dataset] = s
+            row.append(round(s, 2))
+        rows.append(row)
+    text = format_table(
+        "Fig 8a (architectures) — modeled Afforest-over-SV speedup",
+        ["dataset", *ARCHITECTURES],
+        rows,
+    )
+    register_report("fig8a architectures", text)
+    return speedups
+
+
+def test_architecture_consistency(matrix, benchmark):
+    # Afforest wins on every dataset under every architecture profile.
+    for arch, per_dataset in matrix.items():
+        for dataset, speedup in per_dataset.items():
+            assert speedup > 1.0, (arch, dataset, speedup)
+
+    # Consistency: for each dataset, the speedup varies by < 4x across
+    # architectures (the paper's three bars per dataset sit in one band).
+    for dataset in DATASETS:
+        values = [matrix[arch][dataset] for arch in ARCHITECTURES]
+        assert max(values) < 4.0 * min(values), (dataset, values)
+
+    g = load_dataset("kron", "tiny")
+    benchmark(lambda: _phase_profile(lambda m: afforest_simulated(g, m)))

@@ -1,0 +1,80 @@
+"""Fig. 8c — effect of component size on each algorithm.
+
+urand graphs with average component fraction f: the graph has ~floor(1/f)
+components of ~|V|*f vertices.  Paper shapes:
+
+- SV and Afforest are unaffected by component structure;
+- BFS-CC serialises components, so its runtime grows as f -> 0;
+- DOBFS is fastest with 1–10 giant components (bottom-up heaven) but
+  degrades like BFS for many small components;
+- Afforest's skip heuristic makes it competitive with DOBFS at f -> 1.
+"""
+
+import pytest
+
+import repro
+from repro.bench.report import format_series
+from repro.bench.runner import median_time
+from repro.generators import component_fraction_graph
+
+from conftest import register_report
+
+FRACTIONS = [0.001, 0.01, 0.1, 0.5, 1.0]
+_SIZES = {"tiny": 2**10, "small": 2**13, "default": 2**15, "large": 2**16}
+ALGOS = ["afforest", "sv", "bfs", "dobfs"]
+
+
+@pytest.fixture(scope="module")
+def sweep(size):
+    n = _SIZES[size]
+    fractions = [f for f in FRACTIONS if f * n >= 8]
+    times = {a: [] for a in ALGOS}
+    for f in fractions:
+        g = component_fraction_graph(n, f, edge_factor=8, seed=0)
+        for algo in ALGOS:
+            med, _, _, _ = median_time(
+                lambda: repro.connected_components(g, algo), repeats=9
+            )
+            times[algo].append(round(med * 1000, 3))
+    text = format_series(
+        f"Fig 8c — runtime (ms) vs component fraction f (n={n})",
+        "f",
+        fractions,
+        times,
+    )
+    register_report("fig8c component fraction", text)
+    return fractions, times
+
+
+def test_fig8c_shapes(sweep, size, benchmark):
+    fractions, times = sweep
+    lo, hi = 0, len(fractions) - 1  # smallest f (many comps) vs f=1
+
+    # BFS serialises across components: many-small-components is much
+    # slower than one giant component.
+    assert times["bfs"][lo] > 2.0 * times["bfs"][hi]
+
+    # DOBFS degrades toward small f as well.
+    assert times["dobfs"][lo] > times["dobfs"][hi]
+
+    # Tree-hooking algorithms are insensitive to f (the paper plots
+    # essentially flat lines).  The paper's smallest component is still
+    # ~1e3 vertices (f=1e-5 of 2**27); at reduced n the extreme-f points
+    # degenerate into micro-cliques with different convergence behaviour,
+    # so flatness is asserted over the faithful regime f*n >= 256.
+    n = _SIZES[size]
+    faithful = [i for i, f in enumerate(fractions) if f * n >= 256]
+    for algo in ("sv", "afforest"):
+        vals = [times[algo][i] for i in faithful]
+        assert max(vals) < 3.5 * min(vals), (algo, vals)
+
+    # At f=1, Afforest with skipping is competitive with DOBFS.
+    assert times["afforest"][hi] < 2.0 * times["dobfs"][hi]
+
+    # Afforest beats BFS at every point of the sweep.
+    for t_af, t_bfs in zip(times["afforest"], times["bfs"]):
+        assert t_af < t_bfs
+
+    n = _SIZES[size]
+    g = component_fraction_graph(n, 0.1, edge_factor=8, seed=0)
+    benchmark(lambda: repro.connected_components(g, "afforest"))

@@ -1,0 +1,62 @@
+"""Subgraph sampling strategies: a miniature of the paper's Fig. 6.
+
+Replays all four partitioning strategies (row / uniform / neighbour /
+spanning-forest-optimal) through Afforest's link+compress pipeline on a
+web-graph proxy and prints the linkage and coverage convergence tables —
+showing why neighbour sampling is the one Afforest uses.
+
+Run:  python examples/sampling_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import convergence_curve
+from repro.core.strategies import STRATEGIES
+from repro.generators import web_graph
+
+
+CHECKPOINTS = [2.0, 5.0, 10.0, 20.0, 50.0, 100.0]
+
+
+def main() -> None:
+    print("generating web-graph proxy (2**13 pages)...")
+    graph = web_graph(1 << 13, seed=1)
+    print(
+        f"  {graph.num_vertices} pages, {graph.num_edges} links"
+    )
+
+    curves = {}
+    for name, strategy in STRATEGIES.items():
+        curves[name] = convergence_curve(
+            graph, strategy(graph), strategy_name=name, resolution=50
+        )
+
+    two_rounds_pct = (
+        100.0 * 2 * graph.num_vertices / graph.num_directed_edges
+    )
+    print(
+        f"\ntwo neighbour rounds touch only "
+        f"{two_rounds_pct:.1f}% of the directed edges\n"
+    )
+
+    for measure in ("linkage", "coverage"):
+        print(f"{measure} by % of edges processed:")
+        header = "  strategy " + "".join(f"{p:>9.0f}%" for p in CHECKPOINTS)
+        print(header)
+        for name, curve in curves.items():
+            at = getattr(curve, f"{measure}_at")
+            row = "".join(f"{at(p):>10.3f}" for p in CHECKPOINTS)
+            print(f"  {name:<9}{row}")
+        print()
+
+    nb = curves["neighbor"]
+    print(
+        f"after two neighbour rounds: linkage "
+        f"{nb.linkage_at(two_rounds_pct):.1%}, coverage "
+        f"{nb.coverage_at(two_rounds_pct):.1%} "
+        f"(paper reports ~83% / ~80% on its web graph)"
+    )
+
+
+if __name__ == "__main__":
+    main()

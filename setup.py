@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP-517 build isolation.
+
+``pip install -e .`` requires the ``wheel`` package for editable builds on
+older pips; ``python setup.py develop`` (or a plain ``site-packages`` .pth
+entry) achieves the same on offline machines.  Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — Afforest: parallel graph connectivity via subgraph sampling.
+
+A complete Python reproduction of Sutton, Ben-Nun & Barak, *Optimizing
+Parallel Graph Connectivity Computation via Subgraph Sampling* (IPDPS
+2018): the Afforest algorithm, the baselines it is evaluated against
+(Shiloach–Vishkin, label propagation, BFS-CC, direction-optimizing
+BFS-CC), the graph substrate, synthetic dataset proxies, a simulated
+parallel machine for work/span and memory-trace analysis, and the full
+benchmark harness for every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    g = repro.generators.kronecker_graph(scale=14)
+    labels = repro.connected_components(g)            # Afforest
+    result = repro.afforest(g, neighbor_rounds=2)     # detailed result
+    print(result.num_components, result.skip_fraction)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import analysis, baselines, core, distributed, generators, graph, parallel
+from repro.baselines import (
+    bfs_cc,
+    dobfs_cc,
+    label_propagation,
+    label_propagation_datadriven,
+    shiloach_vishkin,
+)
+from repro.core import AfforestResult, afforest, afforest_simulated
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphFormatError,
+    InvariantViolationError,
+    ReproError,
+)
+from repro.graph import CSRGraph, GraphBuilder, from_edge_array, from_edge_list
+from repro.unionfind import ParentArray, sequential_components
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edge_array",
+    "from_edge_list",
+    "ParentArray",
+    "AfforestResult",
+    "afforest",
+    "afforest_simulated",
+    "connected_components",
+    "sequential_components",
+    "bfs_cc",
+    "dobfs_cc",
+    "label_propagation",
+    "label_propagation_datadriven",
+    "shiloach_vishkin",
+    "ReproError",
+    "GraphFormatError",
+    "InvariantViolationError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "analysis",
+    "baselines",
+    "core",
+    "distributed",
+    "generators",
+    "graph",
+    "parallel",
+]
+
+#: algorithm name -> labels-producing callable.
+_ALGORITHMS = {
+    "afforest": lambda g, **kw: afforest(g, **kw).labels,
+    "afforest-noskip": lambda g, **kw: afforest(
+        g, skip_largest=False, **kw
+    ).labels,
+    "sv": lambda g, **kw: shiloach_vishkin(g, **kw).labels,
+    "lp": lambda g, **kw: label_propagation(g, **kw).labels,
+    "lp-datadriven": lambda g, **kw: label_propagation_datadriven(
+        g, **kw
+    ).labels,
+    "bfs": lambda g, **kw: bfs_cc(g, **kw).labels,
+    "dobfs": lambda g, **kw: dobfs_cc(g, **kw).labels,
+    "distributed": lambda g, **kw: distributed.distributed_components(
+        g, **kw
+    ).labels,
+    "sequential": lambda g, **kw: sequential_components(g, **kw),
+}
+
+
+def connected_components(
+    graph: CSRGraph,
+    algorithm: str = "afforest",
+    **kwargs,
+) -> np.ndarray:
+    """Component labels of ``graph`` using the named algorithm.
+
+    Every algorithm returns an equivalent labeling (same partition of the
+    vertex set); label *values* differ by algorithm.  Available:
+    ``afforest`` (default), ``afforest-noskip``, ``sv``, ``lp``,
+    ``lp-datadriven``, ``bfs``, ``dobfs``, ``distributed``, ``sequential``.
+    """
+    fn = _ALGORITHMS.get(algorithm)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
+        )
+    return fn(graph, **kwargs)

@@ -1,0 +1,141 @@
+"""Convergence measures: Linkage(t) and Coverage(t) (paper Sec. V-B).
+
+Linkage is the fraction of all eventual tree merges already performed:
+
+    Linkage(t) = (|V| - T_t) / (|V| - C)
+
+with ``T_t`` the current number of trees in π and ``C`` the final component
+count.  Coverage is the fraction of the largest component already gathered
+into a single tree:
+
+    Coverage(t) = τ_max(t) / |c_max|
+
+:func:`convergence_curve` replays any subgraph partitioning strategy
+(:mod:`repro.core.strategies`) through ``link``/``compress`` and records
+both measures against the percentage of directed edges processed — the
+exact data behind Figs. 6a/6b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress_all
+from repro.core.link import link_batch
+from repro.core.strategies import SubgraphBatch
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+
+
+def linkage(pi: np.ndarray, final_components: int) -> float:
+    """Linkage measure of the current parent array."""
+    n = pi.shape[0]
+    denom = n - final_components
+    if denom <= 0:
+        return 1.0
+    trees = int(np.count_nonzero(pi == np.arange(n, dtype=pi.dtype)))
+    return (n - trees) / denom
+
+
+def coverage(pi: np.ndarray, largest_component_size: int) -> float:
+    """Coverage measure: largest current tree relative to ``|c_max|``.
+
+    Requires π to be acyclic (always true under Invariant 1).  Trees are
+    resolved to roots by pointer doubling, so the measure is exact at any
+    compression state.
+    """
+    if largest_component_size <= 0:
+        return 1.0
+    labels = pi.copy()
+    while True:
+        nxt = labels[labels]
+        if np.array_equal(nxt, labels):
+            break
+        labels = nxt
+    tree_sizes = np.bincount(labels)
+    return float(tree_sizes.max()) / float(largest_component_size)
+
+
+@dataclass
+class ConvergenceCurve:
+    """Linkage/coverage samples along one strategy's execution."""
+
+    strategy: str
+    edges_total: int
+    #: cumulative directed edges processed at each checkpoint
+    edges_processed: list[int] = field(default_factory=list)
+    linkage: list[float] = field(default_factory=list)
+    coverage: list[float] = field(default_factory=list)
+
+    @property
+    def percent_processed(self) -> np.ndarray:
+        return 100.0 * np.asarray(self.edges_processed) / max(self.edges_total, 1)
+
+    def linkage_at(self, percent: float) -> float:
+        """Linkage at (or before) a given percentage of edges processed."""
+        return self._measure_at(percent, self.linkage)
+
+    def coverage_at(self, percent: float) -> float:
+        """Coverage at (or before) a given percentage of edges processed."""
+        return self._measure_at(percent, self.coverage)
+
+    def _measure_at(self, percent: float, series: list[float]) -> float:
+        pcts = self.percent_processed
+        idx = np.nonzero(pcts <= percent + 1e-9)[0]
+        if idx.size == 0:
+            return 0.0
+        return float(series[int(idx[-1])])
+
+
+def convergence_curve(
+    graph: CSRGraph,
+    batches: list[SubgraphBatch],
+    *,
+    strategy_name: str = "strategy",
+    resolution: int = 50,
+    final_components: int | None = None,
+    largest_component_size: int | None = None,
+) -> ConvergenceCurve:
+    """Replay ``batches`` through link/compress, sampling both measures.
+
+    Batches larger than ``|E_directed| / resolution`` are subdivided so the
+    curve stays smooth through the big remainder batch.  A compress runs
+    after every batch boundary (matching Afforest's interleaving); measures
+    are taken after each chunk.
+    """
+    if resolution < 1:
+        raise ConfigurationError(f"resolution must be >= 1, got {resolution}")
+    n = graph.num_vertices
+    total = sum(b.num_edges for b in batches)
+    pi = np.arange(n, dtype=VERTEX_DTYPE)
+
+    if final_components is None or largest_component_size is None:
+        from repro.graph.properties import component_census
+
+        census = component_census(graph)
+        if final_components is None:
+            final_components = census.num_components
+        if largest_component_size is None:
+            largest_component_size = census.largest
+
+    curve = ConvergenceCurve(strategy_name, edges_total=total)
+    chunk = max(total // resolution, 1)
+    processed = 0
+
+    def checkpoint() -> None:
+        curve.edges_processed.append(processed)
+        curve.linkage.append(linkage(pi, final_components))
+        curve.coverage.append(coverage(pi, largest_component_size))
+
+    checkpoint()
+    for batch in batches:
+        for lo in range(0, batch.num_edges, chunk):
+            hi = min(lo + chunk, batch.num_edges)
+            link_batch(pi, batch.src[lo:hi], batch.dst[lo:hi])
+            processed += hi - lo
+            checkpoint()
+        compress_all(pi)
+    return curve

@@ -1,0 +1,93 @@
+"""BFS-based connected components (paper Sec. II-B).
+
+Components are identified one at a time: pick an unvisited seed, run a
+parallel (frontier-expanded) BFS labelling everything reached, repeat.
+Each edge is touched once — linear work — but components are processed
+*serially*, which is the weakness Fig. 8c exposes: runtime grows with the
+number of components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NO_VERTEX, VERTEX_DTYPE
+from repro.graph.csr import CSRGraph
+from repro.nputil import segment_ranges
+
+
+@dataclass
+class BFSCCResult:
+    """Outcome of a BFS-CC run."""
+
+    labels: np.ndarray
+    num_components: int
+    edges_processed: int  # directed edge examinations
+    bfs_steps: int  # total frontier expansions (serial rounds)
+    #: edges examined per frontier expansion, in execution order — the
+    #: per-parallel-phase work profile used by the scaling model (Fig. 8b).
+    step_edges: list[int] = None
+
+
+def _bfs_label(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    seed: int,
+    step_edges: list[int],
+) -> tuple[int, int]:
+    """Label every vertex reachable from ``seed``; returns (edges, steps)."""
+    indptr, indices = graph.indptr, graph.indices
+    label = int(seed)
+    labels[seed] = label
+    frontier = np.asarray([seed], dtype=VERTEX_DTYPE)
+    edges = 0
+    steps = 0
+    while frontier.size:
+        steps += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(starts, counts) + segment_ranges(counts)
+        nbrs = indices[offsets]
+        edges += total
+        step_edges.append(total)
+        fresh = nbrs[labels[nbrs] == int(NO_VERTEX)]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        labels[fresh] = label
+        frontier = fresh
+    return edges, steps
+
+
+def bfs_cc(graph: CSRGraph) -> BFSCCResult:
+    """Connected components via repeated parallel BFS."""
+    n = graph.num_vertices
+    labels = np.full(n, int(NO_VERTEX), dtype=VERTEX_DTYPE)
+    edges = 0
+    steps = 0
+    components = 0
+    step_edges: list[int] = []
+    # Seeds are scanned in id order; the cursor never revisits labelled
+    # prefix entries, so the scan is O(n) total.
+    cursor = 0
+    while cursor < n:
+        if labels[cursor] != int(NO_VERTEX):
+            cursor += 1
+            continue
+        components += 1
+        e, s = _bfs_label(graph, labels, cursor, step_edges)
+        edges += e
+        steps += s
+        cursor += 1
+    return BFSCCResult(
+        labels=labels,
+        num_components=components,
+        edges_processed=edges,
+        bfs_steps=steps,
+        step_edges=step_edges,
+    )

@@ -1,0 +1,99 @@
+"""Min-label propagation CC (paper Sec. II-B).
+
+Every vertex starts with a unique label; iterations propagate the minimum
+label across edges until a fixpoint.  Work is ``O(D · |E|)`` in the
+synchronous variant — the diameter dependence the paper contrasts against.
+The *data-driven* variant keeps a frontier of vertices whose label changed
+and only processes their edges, trading work for frontier maintenance
+(Sec. II-B's discussion of [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import ITERATION_CAP_FACTOR, ITERATION_CAP_SLACK, VERTEX_DTYPE
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.nputil import segment_ranges
+
+
+@dataclass
+class LPResult:
+    """Outcome of a label-propagation run."""
+
+    labels: np.ndarray
+    iterations: int
+    edges_processed: int  # directed edge examinations summed over iterations
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).shape[0])
+
+
+def label_propagation(graph: CSRGraph) -> LPResult:
+    """Synchronous min-label propagation.
+
+    Each iteration scatter-mins every edge's source label into its
+    destination; convergence when no label changes.  Iteration count is
+    within a factor of the graph diameter.
+    """
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=VERTEX_DTYPE)
+    if n == 0 or graph.num_directed_edges == 0:
+        return LPResult(labels, 0, 0)
+    src, dst = graph.edge_array()
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    iterations = 0
+    edges = 0
+    while True:
+        iterations += 1
+        if iterations > cap:
+            raise ConvergenceError(f"label propagation exceeded {cap} iterations")
+        before = labels.copy()
+        np.minimum.at(labels, dst, labels[src])
+        edges += int(src.shape[0])
+        if np.array_equal(labels, before):
+            break
+    return LPResult(labels, iterations, edges)
+
+
+def label_propagation_datadriven(graph: CSRGraph) -> LPResult:
+    """Data-driven (frontier) min-label propagation.
+
+    Only edges leaving vertices whose label changed last iteration are
+    re-examined, so total work shrinks from ``O(D·|E|)`` toward the sum of
+    per-iteration active-edge counts — at the cost of maintaining the
+    frontier (paper: "at the cost of maintaining a frontier of active
+    vertices").
+    """
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=VERTEX_DTYPE)
+    if n == 0 or graph.num_directed_edges == 0:
+        return LPResult(labels, 0, 0)
+    indptr, indices = graph.indptr, graph.indices
+    frontier = np.arange(n, dtype=VERTEX_DTYPE)
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    iterations = 0
+    edges = 0
+    while frontier.size:
+        iterations += 1
+        if iterations > cap:
+            raise ConvergenceError(
+                f"data-driven label propagation exceeded {cap} iterations"
+            )
+        counts = indptr[frontier + 1] - indptr[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        src = np.repeat(frontier, counts)
+        offsets = np.repeat(indptr[frontier], counts) + segment_ranges(counts)
+        dst = indices[offsets]
+        edges += total
+        before = labels.copy()
+        np.minimum.at(labels, dst, labels[src])
+        changed = np.nonzero(labels != before)[0].astype(VERTEX_DTYPE)
+        frontier = changed
+    return LPResult(labels, iterations, edges)

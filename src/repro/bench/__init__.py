@@ -1,0 +1,15 @@
+"""Benchmark harness: timed runners, the evaluation suite, and paper-style
+reporting."""
+
+from repro.bench.runner import BenchmarkRecord, median_time, run_algorithm
+from repro.bench.report import format_series, format_table
+from repro.bench.datasets import evaluation_suite
+
+__all__ = [
+    "BenchmarkRecord",
+    "median_time",
+    "run_algorithm",
+    "format_series",
+    "format_table",
+    "evaluation_suite",
+]

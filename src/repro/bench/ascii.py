@@ -1,0 +1,119 @@
+"""ASCII renderings of the paper's figures for terminal reports.
+
+No plotting stack exists in this environment, so the benchmark harness
+and examples render their figure data as text: sparklines for single
+series, multi-series line plots for the convergence curves (Fig. 6) and
+scaling curves (Fig. 8b), and block-character heatmaps for the Fig. 7
+access densities.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "heatmap", "line_plot"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_SHADE = " ░▒▓█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a numeric series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK) - 1)
+    return "".join(_SPARK[int(round(s))] for s in scaled)
+
+
+def heatmap(matrix: np.ndarray, *, legend: bool = True) -> str:
+    """Block-character heat map of a 2-D non-negative array.
+
+    Rows render top to bottom; intensity is normalised over the whole
+    matrix (log-scaled, since access densities span orders of magnitude).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigurationError("heatmap expects a 2-D array")
+    if matrix.size == 0:
+        return ""
+    if (matrix < 0).any():
+        raise ConfigurationError("heatmap expects non-negative values")
+    scaled = np.log1p(matrix)
+    hi = scaled.max()
+    if hi == 0:
+        hi = 1.0
+    levels = (scaled / hi * (len(_SHADE) - 1)).round().astype(int)
+    lines = ["".join(_SHADE[v] for v in row) for row in levels]
+    if legend:
+        lines.append(f"[{_SHADE}] 0 .. {matrix.max():g} (log scale)")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "x",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker (its name's first letter, upper-cased in
+    order of declaration; collisions fall back to digits).  Axes are
+    annotated with the data ranges.
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size == 0 or not series:
+        return ""
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot must be at least 8x4 characters")
+    all_y = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for i, name in enumerate(series):
+        mark = name[0].upper()
+        if mark in used:
+            mark = str(i % 10)
+        used.add(mark)
+        markers[name] = mark
+
+    for name, values in series.items():
+        ys = np.asarray(list(values), dtype=float)
+        if ys.shape[0] != xs.shape[0]:
+            raise ConfigurationError(
+                f"series {name!r} has {ys.shape[0]} points for {xs.shape[0]} xs"
+            )
+        cols = ((xs - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int)
+        rows = ((ys - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = markers[name]
+
+    lines = [f"{y_hi:>10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.3g}".ljust(width // 2)
+        + f"{x_label} → {x_hi:.3g}".rjust(width // 2)
+    )
+    legend = "  ".join(f"{m}={n}" for n, m in markers.items())
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

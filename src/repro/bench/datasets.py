@@ -1,0 +1,24 @@
+"""Evaluation-suite wiring: cached generation of the benchmark graphs."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.generators.datasets import CPU_SUITE, load_dataset
+from repro.graph.csr import CSRGraph
+
+
+@lru_cache(maxsize=32)
+def _cached(name: str, size: str, seed: int) -> CSRGraph:
+    return load_dataset(name, size, seed=seed)
+
+
+def evaluation_suite(
+    size: str = "default",
+    *,
+    names: tuple[str, ...] = CPU_SUITE,
+    seed: int = 42,
+) -> dict[str, CSRGraph]:
+    """The Fig. 8a dataset suite at the given size tier, cached per process
+    so repeated benchmark modules don't regenerate graphs."""
+    return {name: _cached(name, size, seed) for name in names}

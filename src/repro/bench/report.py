@@ -1,0 +1,58 @@
+"""Paper-style plain-text tables and series for benchmark output.
+
+The benchmark harness prints its results in the same row/series structure
+the paper's tables and figures use, so EXPERIMENTS.md can be assembled by
+copying harness output next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule.
+
+    Floats render with 4 significant digits; everything else via ``str``.
+    """
+    rendered = [[_cell(c) for c in row] for row in rows]
+    header = [str(c) for c in columns]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rendered)) if rendered else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, "=" * max(len(title), 8)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """A figure's data as one x column plus one column per series."""
+    columns = [x_label, *series.keys()]
+    rows = [
+        [x, *(vals[i] for vals in series.values())]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(title, columns, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,91 @@
+"""Timed execution helpers used by the ``benchmarks/`` harness.
+
+The paper reports "the median running time ... over 16 measurements if the
+runtime is below 20 minutes, and the median of 3 measurements otherwise";
+:func:`median_time` follows the same protocol scaled to this substrate
+(median of ``repeats``, fewer when a single run is slow).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+import repro
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class BenchmarkRecord:
+    """One (dataset, algorithm) measurement."""
+
+    dataset: str
+    algorithm: str
+    median_seconds: float
+    p25_seconds: float
+    p75_seconds: float
+    samples: list[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def speedup_over(self, other: "BenchmarkRecord") -> float:
+        """How much faster this record is than ``other``."""
+        if self.median_seconds <= 0:
+            return float("inf")
+        return other.median_seconds / self.median_seconds
+
+
+def median_time(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 16,
+    slow_threshold: float = 2.0,
+    slow_repeats: int = 3,
+) -> tuple[float, float, float, list[float]]:
+    """Median / 25th / 75th percentile runtime of ``fn``.
+
+    A first timing decides the protocol: below ``slow_threshold`` seconds
+    run ``repeats`` samples, otherwise only ``slow_repeats`` (the paper's
+    16-vs-3 rule scaled down).
+    """
+    t0 = time.perf_counter()
+    fn()
+    first = time.perf_counter() - t0
+    n = repeats if first < slow_threshold else slow_repeats
+    samples = [first]
+    for _ in range(n - 1):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    arr = np.asarray(samples)
+    return (
+        float(np.median(arr)),
+        float(np.percentile(arr, 25)),
+        float(np.percentile(arr, 75)),
+        samples,
+    )
+
+
+def run_algorithm(
+    graph: CSRGraph,
+    algorithm: str,
+    dataset: str = "graph",
+    *,
+    repeats: int = 16,
+    **kwargs,
+) -> BenchmarkRecord:
+    """Benchmark one algorithm on one graph with the paper's protocol."""
+    med, p25, p75, samples = median_time(
+        lambda: repro.connected_components(graph, algorithm, **kwargs),
+        repeats=repeats,
+    )
+    return BenchmarkRecord(
+        dataset=dataset,
+        algorithm=algorithm,
+        median_seconds=med,
+        p25_seconds=p25,
+        p75_seconds=p75,
+        samples=samples,
+    )

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``  write a synthetic dataset proxy to a graph file
+``info``      print Table III-style statistics for a graph
+``solve``     compute connected components and optionally save the labels
+``compare``   run several algorithms on one graph and print a timing table
+``convert``   translate between the supported graph file formats
+
+Graphs are referenced either by a file path (``.el``/``.txt``/``.graph``/
+``.metis``/``.npz``) or by a dataset spec ``dataset:<name>[:<size>]``
+(e.g. ``dataset:kron:small``) resolved through the generator registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.errors import ReproError
+from repro.generators.datasets import DATASETS, SIZE_TIERS, load_dataset
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_graph, save_graph
+from repro.graph.properties import summarize
+
+
+def _resolve_graph(spec: str, seed: int) -> CSRGraph:
+    """Load a graph from a file path or a ``dataset:`` spec."""
+    if spec.startswith("dataset:"):
+        parts = spec.split(":")
+        name = parts[1] if len(parts) > 1 else ""
+        size = parts[2] if len(parts) > 2 else "default"
+        return load_dataset(name, size, seed=seed)
+    return load_graph(spec)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, args.size, seed=args.seed)
+    save_graph(graph, args.output)
+    print(
+        f"wrote {args.dataset}/{args.size} "
+        f"({graph.num_vertices} vertices, {graph.num_edges} edges) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args.graph, args.seed)
+    p = summarize(graph, args.graph)
+    print(f"graph:       {args.graph}")
+    print(f"vertices:    {p.num_vertices}")
+    print(f"edges:       {p.num_edges}")
+    print(
+        f"degree:      mean {p.degree.mean:.2f}, median {p.degree.median:.0f}, "
+        f"max {p.degree.max}, isolated {p.degree.num_isolated}"
+    )
+    print(
+        f"components:  {p.components.num_components} "
+        f"(largest {p.components.largest}, "
+        f"{p.components.largest_fraction:.1%} of vertices)"
+    )
+    print(f"diameter:    >= {p.pseudo_diameter} (double-sweep bound)")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args.graph, args.seed)
+    t0 = time.perf_counter()
+    labels = repro.connected_components(graph, args.algorithm)
+    elapsed = time.perf_counter() - t0
+    components = int(np.unique(labels).shape[0])
+    print(
+        f"{args.algorithm}: {components} components in {elapsed * 1000:.1f} ms "
+        f"({graph.num_vertices} vertices, {graph.num_edges} edges)"
+    )
+    if args.output:
+        np.savez_compressed(args.output, labels=labels)
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.report import format_table
+    from repro.bench.runner import run_algorithm
+
+    graph = _resolve_graph(args.graph, args.seed)
+    algorithms = args.algorithms.split(",")
+    records = [
+        run_algorithm(graph, algo.strip(), args.graph, repeats=args.repeats)
+        for algo in algorithms
+    ]
+    baseline = records[0]
+    rows = [
+        [
+            rec.algorithm,
+            round(rec.median_seconds * 1000, 3),
+            round(rec.p25_seconds * 1000, 3),
+            round(rec.p75_seconds * 1000, 3),
+            round(baseline.median_seconds / rec.median_seconds, 2),
+        ]
+        for rec in records
+    ]
+    print(
+        format_table(
+            f"algorithm comparison on {args.graph}",
+            ["algorithm", "median_ms", "p25_ms", "p75_ms", f"speedup_vs_{baseline.algorithm}"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args.input, args.seed)
+    save_graph(graph, args.output)
+    print(f"converted {args.input} -> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the ``repro`` command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Afforest connected components (IPDPS 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="seed for dataset: specs"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to a file")
+    p.add_argument("dataset", choices=sorted(DATASETS))
+    p.add_argument("output")
+    p.add_argument("--size", choices=sorted(SIZE_TIERS), default="default")
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("info", help="print graph statistics")
+    p.add_argument("graph")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("solve", help="compute connected components")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="afforest")
+    p.add_argument("--output", help="write labels to an .npz file")
+    p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("compare", help="time several algorithms on one graph")
+    p.add_argument("graph")
+    p.add_argument(
+        "--algorithms", default="afforest,sv,lp,bfs,dobfs",
+        help="comma-separated algorithm names",
+    )
+    p.add_argument("--repeats", type=int, default=7)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("convert", help="translate between graph file formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(fn=_cmd_convert)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # well-behaved Unix tools do.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Library-wide constants and dtype conventions.
+
+Vertex identifiers and parent pointers are 64-bit signed integers throughout.
+The GAP benchmark suite (and the paper's implementation derived from it) uses
+32-bit ids for most graphs, but 64-bit avoids overflow traps on synthetic
+sweeps and keeps arithmetic uniform; the work-efficiency results the library
+measures are unaffected by id width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype used for vertex identifiers, CSR indices and parent (pi) arrays.
+VERTEX_DTYPE = np.int64
+
+#: dtype used for per-vertex/edge counters collected by instrumented kernels.
+COUNTER_DTYPE = np.int64
+
+#: Sentinel for "no vertex" (e.g. unvisited BFS parents).
+NO_VERTEX = np.int64(-1)
+
+#: Default number of neighbour-sampling rounds in Afforest (paper Sec. VI-A:
+#: "Based on the analysis in Section V, we set the value of neighbor_rounds
+#: ... to 2").
+DEFAULT_NEIGHBOR_ROUNDS = 2
+
+#: Default number of random probes of the parent array used to identify the
+#: largest intermediate component (paper Sec. IV-E: "randomly sampling pi a
+#: constant number of times").
+DEFAULT_SKIP_SAMPLE_SIZE = 1024
+
+#: Iteration safety cap multiplier for provably-convergent loops: loops abort
+#: with ConvergenceError after ``cap_factor * n + cap_slack`` iterations.
+ITERATION_CAP_FACTOR = 8
+ITERATION_CAP_SLACK = 64
+
+#: Default per-chunk size used by the simulated machine's static scheduler.
+DEFAULT_CHUNK_SIZE = 4096

@@ -1,0 +1,42 @@
+"""Afforest: the paper's core contribution.
+
+Public entry points:
+
+- :func:`~repro.core.afforest.afforest` — the full Fig. 5 algorithm
+  (neighbour-round sampling + large-component skipping), vectorized;
+- :func:`~repro.core.afforest.afforest_simulated` — the same algorithm on
+  the simulated parallel machine (instrumented, traceable);
+- :func:`~repro.core.link.link` / :func:`~repro.core.compress.compress` —
+  the two primitives, scalar form;
+- :mod:`~repro.core.strategies` — the subgraph partitioning strategies of
+  Sec. V-B (row / uniform-edge / neighbour / spanning-forest-optimal).
+"""
+
+from repro.core.afforest import (
+    AfforestResult,
+    afforest,
+    afforest_simulated,
+)
+from repro.core.compress import compress, compress_all, compress_kernel
+from repro.core.incremental import IncrementalConnectivity
+from repro.core.link import LinkCounters, link, link_batch, link_kernel
+from repro.core.sampling import approximate_largest_label, most_frequent_element
+from repro.core.spanning_forest import spanning_forest, spanning_forest_batch
+
+__all__ = [
+    "AfforestResult",
+    "afforest",
+    "afforest_simulated",
+    "compress",
+    "compress_all",
+    "compress_kernel",
+    "IncrementalConnectivity",
+    "LinkCounters",
+    "link",
+    "link_batch",
+    "link_kernel",
+    "approximate_largest_label",
+    "most_frequent_element",
+    "spanning_forest",
+    "spanning_forest_batch",
+]

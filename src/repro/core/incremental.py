@@ -1,0 +1,162 @@
+"""Incremental connectivity on top of the ``link`` primitive.
+
+Afforest's ``link`` is exactly an edge-insertion operation on the parent
+forest (Theorem 1 holds for any edge order, including one interleaved
+with queries), so the library gets incremental connectivity — the
+streaming-graph workload that motivates much of the CC literature — for
+free.  :class:`IncrementalConnectivity` packages it with amortised path
+compression and component bookkeeping.
+
+Deletions are not supported (the tree-hooking family is inherently
+incremental-only); rebuild via :func:`repro.core.afforest.afforest` when
+edges disappear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress_all
+from repro.core.link import link, link_batch
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.unionfind.parent import ParentArray
+
+
+class IncrementalConnectivity:
+    """Connectivity under streaming edge insertions.
+
+    Parameters
+    ----------
+    num_vertices:
+        Fixed vertex universe (vertices cannot be added later).
+    compress_every:
+        A full vectorized compression runs after this many insertions,
+        bounding tree depths (the incremental analogue of Afforest's
+        interleaved ``compress`` phases).  ``0`` disables periodic
+        compression (queries still self-compress lazily).
+    """
+
+    def __init__(self, num_vertices: int, *, compress_every: int = 4096) -> None:
+        if num_vertices < 0:
+            raise ConfigurationError(
+                f"num_vertices must be >= 0, got {num_vertices}"
+            )
+        if compress_every < 0:
+            raise ConfigurationError(
+                f"compress_every must be >= 0, got {compress_every}"
+            )
+        self._pi = np.arange(num_vertices, dtype=VERTEX_DTYPE)
+        self._compress_every = compress_every
+        self._since_compress = 0
+        self._num_components = num_vertices
+        self._edges_inserted = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(cls, graph: CSRGraph, **kwargs) -> "IncrementalConnectivity":
+        """Start from an existing graph's connectivity (bulk-loaded)."""
+        inc = cls(graph.num_vertices, **kwargs)
+        src, dst = graph.undirected_edge_array()
+        inc.add_edges(src, dst)
+        return inc
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``{u, v}``; True if it connected two components."""
+        self._check(u)
+        self._check(v)
+        merged = link(self._pi, u, v)
+        if merged:
+            self._num_components -= 1
+        self._edges_inserted += 1
+        self._maybe_compress(1)
+        return merged
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
+        """Bulk insertion; returns the number of components merged."""
+        src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+        dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+        if src.shape != dst.shape:
+            raise ConfigurationError("src/dst must have equal length")
+        if src.size and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= self.num_vertices
+        ):
+            raise ConfigurationError("edge endpoint out of range")
+        before = self._count_components_exact()
+        link_batch(self._pi, src, dst)
+        self._edges_inserted += int(src.shape[0])
+        self._maybe_compress(int(src.shape[0]))
+        after = self._count_components_exact()
+        merged = before - after
+        self._num_components = after
+        return merged
+
+    def _maybe_compress(self, inserted: int) -> None:
+        if self._compress_every == 0:
+            return
+        self._since_compress += inserted
+        if self._since_compress >= self._compress_every:
+            compress_all(self._pi)
+            self._since_compress = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._pi.shape[0])
+
+    @property
+    def num_components(self) -> int:
+        """Current number of connected components."""
+        return self._num_components
+
+    @property
+    def edges_inserted(self) -> int:
+        return self._edges_inserted
+
+    def find(self, v: int) -> int:
+        """Component representative of ``v`` (with path compression)."""
+        self._check(v)
+        pi = self._pi
+        root = v
+        while pi[root] != root:
+            root = int(pi[root])
+        # Path compression: point the walked chain at the root.
+        while pi[v] != root:
+            pi[v], v = root, int(pi[v])
+        return root
+
+    def connected(self, u: int, v: int) -> bool:
+        """True if ``u`` and ``v`` are currently in the same component."""
+        return self.find(u) == self.find(v)
+
+    def component_of(self, v: int) -> np.ndarray:
+        """All vertices currently in ``v``'s component (O(n) scan)."""
+        labels = self.labels()
+        return np.nonzero(labels == labels[v])[0]
+
+    def labels(self) -> np.ndarray:
+        """A full component labeling (compresses as a side effect)."""
+        compress_all(self._pi)
+        self._since_compress = 0
+        return self._pi.copy()
+
+    def _count_components_exact(self) -> int:
+        return ParentArray(self._pi).num_trees()
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise ConfigurationError(
+                f"vertex {v} out of range for {self.num_vertices}-vertex universe"
+            )

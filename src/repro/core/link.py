@@ -1,0 +1,204 @@
+"""The ``link`` primitive (paper Fig. 3).
+
+Given an edge ``(u, v)`` and the parent array π, ``link`` guarantees on
+return that ``u`` and ``v`` lie in the same component tree, merging trees
+if needed.  The loop walks both endpoints' ancestor chains; at each step it
+tries to hook the higher-indexed candidate root onto the lower one with a
+compare-and-swap, preserving Invariant 1 (``pi[x] <= x``).
+
+Three implementations share these semantics:
+
+- :func:`link` — plain scalar with optional counters (analysis runs);
+- :func:`link_kernel` — generator kernel for the simulated machine, with a
+  preemption point before every shared access (concurrent semantics);
+- :func:`link_batch` — NumPy-vectorized over an edge batch, used by the
+  performance implementation.  Conflicting concurrent hooks are resolved by
+  ``np.minimum.at`` scatter-min, the batch analogue of "the winning CAS is
+  the one writing the smallest l", and losers re-iterate exactly like the
+  scalar CAS-failure path (case 3 of Lemma 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from repro.constants import (
+    ITERATION_CAP_FACTOR,
+    ITERATION_CAP_SLACK,
+    VERTEX_DTYPE,
+)
+from repro.errors import ConvergenceError
+from repro.parallel.machine import KernelContext
+
+
+@dataclass
+class LinkCounters:
+    """Instrumentation for scalar link runs (Table II / Sec. V-A).
+
+    ``iterations_histogram[k]`` counts edges whose link loop ran ``k`` local
+    iterations; ``max_chain`` is the longest ancestor chain walked.
+    """
+
+    edges_processed: int = 0
+    total_iterations: int = 0
+    max_iterations: int = 0
+    max_chain: int = 0
+    hooks: int = 0
+    cas_failures: int = 0
+    iterations_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average local link iterations per processed edge."""
+        if self.edges_processed == 0:
+            return 0.0
+        return self.total_iterations / self.edges_processed
+
+    def _record_edge(self, iters: int) -> None:
+        self.edges_processed += 1
+        self.total_iterations += iters
+        if iters > self.max_iterations:
+            self.max_iterations = iters
+        self.iterations_histogram[iters] = (
+            self.iterations_histogram.get(iters, 0) + 1
+        )
+
+
+def link(
+    pi: np.ndarray,
+    u: int,
+    v: int,
+    counters: LinkCounters | None = None,
+) -> bool:
+    """Scalar link: ensure ``u`` and ``v`` share a component tree in π.
+
+    Returns True if a hook was performed (the trees were distinct).
+    Single-threaded, so the CAS always succeeds when the candidate is a
+    root; the loop structure is still the concurrent one.
+    """
+    p1 = int(pi[u])
+    p2 = int(pi[v])
+    iters = 0
+    hooked = False
+    cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+    while p1 != p2:
+        iters += 1
+        if iters > cap:
+            raise ConvergenceError(
+                f"link({u}, {v}) exceeded {cap} iterations — corrupted pi?"
+            )
+        if p1 < p2:
+            low, high = p1, p2
+        else:
+            low, high = p2, p1
+        p_high = int(pi[high])
+        if p_high == low:
+            break  # already hooked by this or another edge
+        if p_high == high:
+            # high is a root: hook it under low (sequential CAS succeeds).
+            pi[high] = low
+            hooked = True
+            if counters is not None:
+                counters.hooks += 1
+            break
+        # high was not a root — climb both chains and retry.
+        p1 = int(pi[p_high])
+        p2 = int(pi[low])
+        if counters is not None and iters > counters.max_chain:
+            counters.max_chain = iters
+    if counters is not None:
+        counters._record_edge(max(iters, 1))
+    return hooked
+
+
+def link_kernel(
+    ctx: KernelContext,
+    edge: int,
+    pi: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+) -> Generator[None, None, None]:
+    """Machine kernel: link edge ``(src[edge], dst[edge])`` concurrently.
+
+    Faithful to the paper's concurrent formulation: each shared access is a
+    separate preemption point, and hooks go through a real CAS that fails
+    when another worker got there first.
+    """
+    u = int(src[edge])
+    v = int(dst[edge])
+    p1 = yield from ctx.read(pi, u)
+    p2 = yield from ctx.read(pi, v)
+    cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+    iters = 0
+    while p1 != p2:
+        iters += 1
+        if iters > cap:
+            raise ConvergenceError(
+                f"link_kernel({u}, {v}) exceeded {cap} iterations"
+            )
+        if p1 < p2:
+            low, high = p1, p2
+        else:
+            low, high = p2, p1
+        p_high = yield from ctx.read(pi, high)
+        if p_high == low:
+            break
+        if p_high == high:
+            ok = yield from ctx.cas(pi, high, high, low)
+            if ok:
+                break
+        p1 = yield from ctx.read(pi, high)
+        p1 = yield from ctx.read(pi, p1)
+        p2 = yield from ctx.read(pi, low)
+
+
+def link_batch(
+    pi: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+) -> int:
+    """Vectorized link of a whole edge batch.
+
+    Iterates SV-style rounds *restricted to the batch* until every edge's
+    endpoints share a root.  Each round:
+
+    1. gathers candidate parents ``a = pi[..u..], b = pi[..v..]``;
+    2. hooks roots: where ``pi[h] == h``, scatter-min writes the smallest
+       competing ``l`` into ``pi[h]`` (CAS-winner semantics);
+    3. climbs: edges that did not finish advance to
+       ``(pi[pi[h]], pi[l])`` and go again.
+
+    Returns the number of rounds executed.  O(rounds · batch) vectorized
+    work; rounds is O(log n) in practice and capped for safety.
+    """
+    if src.shape[0] == 0:
+        return 0
+    a = pi[src]
+    b = pi[dst]
+    n = pi.shape[0]
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    rounds = 0
+    while True:
+        active = a != b
+        if not active.any():
+            return rounds
+        rounds += 1
+        if rounds > cap:
+            raise ConvergenceError(
+                f"link_batch exceeded {cap} rounds — corrupted pi?"
+            )
+        a = a[active]
+        b = b[active]
+        h = np.maximum(a, b)
+        l = np.minimum(a, b)
+        ph = pi[h]
+        root = ph == h
+        if root.any():
+            np.minimum.at(pi, h[root], l[root])
+        # Climb both chains (also resolves freshly hooked edges: their new
+        # a and b meet at the common root and drop out next round).
+        a = pi[pi[h]]
+        b = pi[l]

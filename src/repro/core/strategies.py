@@ -1,0 +1,182 @@
+"""Subgraph partitioning strategies (paper Sec. IV / V-B, Fig. 6).
+
+Afforest's subgraph-processing property (Sec. III-B) lets the edge set be
+split into arbitrary batches, each processed by ``link`` with ``compress``
+in between.  *Which* batches come first determines how fast linkage and
+coverage converge; the paper compares four strategies, all implemented
+here with a common interface:
+
+    strategy(graph, ...) -> list[SubgraphBatch]
+
+where each batch carries parallel ``(src, dst)`` arrays of directed edges.
+Processing all batches in order touches every directed edge slot exactly
+once for every strategy, so convergence-vs-%-edges curves are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.errors import ConfigurationError
+from repro.generators.rng import make_rng
+from repro.graph.csr import CSRGraph
+from repro.core.spanning_forest import spanning_forest
+from repro.nputil import segment_ranges
+
+__all__ = [
+    "SubgraphBatch",
+    "row_sampling",
+    "uniform_edge_sampling",
+    "neighbor_sampling",
+    "optimal_sampling",
+    "STRATEGIES",
+]
+
+
+@dataclass(frozen=True)
+class SubgraphBatch:
+    """One edge batch of a partitioning strategy."""
+
+    name: str
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+
+def _check_batches(num_batches: int) -> None:
+    if num_batches < 1:
+        raise ConfigurationError(f"num_batches must be >= 1, got {num_batches}")
+
+
+def row_sampling(graph: CSRGraph, num_batches: int = 10) -> list[SubgraphBatch]:
+    """Partition the adjacency matrix by contiguous row blocks.
+
+    The strategy the paper finds slowest to converge: early batches only
+    see edges local to a vertex-id range, so cross-range merges wait for
+    later batches.
+    """
+    _check_batches(num_batches)
+    n = graph.num_vertices
+    src_all = graph.sources()
+    dst_all = graph.indices
+    bounds = np.linspace(0, n, num_batches + 1).astype(np.int64)
+    batches = []
+    indptr = graph.indptr
+    for b in range(num_batches):
+        lo, hi = int(indptr[bounds[b]]), int(indptr[bounds[b + 1]])
+        batches.append(
+            SubgraphBatch(f"rows[{bounds[b]}:{bounds[b+1]})",
+                          src_all[lo:hi], dst_all[lo:hi])
+        )
+    return batches
+
+
+def uniform_edge_sampling(
+    graph: CSRGraph,
+    num_batches: int = 10,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> list[SubgraphBatch]:
+    """Random disjoint edge subsets of equal size.
+
+    Equivalent to sampling each edge with increasing probability ``p``
+    (Sec. IV-B): after batch ``k`` the processed subgraph is a uniform
+    ``k / num_batches`` sample of the directed edges.
+    """
+    _check_batches(num_batches)
+    rng = make_rng(seed)
+    src_all = graph.sources()
+    dst_all = graph.indices
+    m = src_all.shape[0]
+    order = rng.permutation(m)
+    bounds = np.linspace(0, m, num_batches + 1).astype(np.int64)
+    return [
+        SubgraphBatch(
+            f"uniform p={(b + 1) / num_batches:.2f}",
+            src_all[order[bounds[b] : bounds[b + 1]]],
+            dst_all[order[bounds[b] : bounds[b + 1]]],
+        )
+        for b in range(num_batches)
+    ]
+
+
+def neighbor_sampling(
+    graph: CSRGraph,
+    rounds: int = 2,
+) -> list[SubgraphBatch]:
+    """The paper's strategy (Sec. IV-C): round ``r`` takes each vertex's
+    ``r``-th stored neighbour; a final batch holds all remaining slots.
+
+    Edge budget is thereby spread evenly across vertices and components —
+    a degree-one vertex's only edge is always in round 0.
+    """
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+    indptr, indices = graph.indptr, graph.indices
+    deg = np.asarray(graph.degree())
+    n = graph.num_vertices
+    verts = np.arange(n, dtype=VERTEX_DTYPE)
+    batches = []
+    for r in range(rounds):
+        sel = verts[deg > r]
+        batches.append(
+            SubgraphBatch(
+                f"neighbor round {r}", sel, indices[indptr[sel] + r]
+            )
+        )
+    rest_counts = np.maximum(deg - rounds, 0)
+    total = int(rest_counts.sum())
+    if total:
+        src = np.repeat(verts, rest_counts)
+        offsets = (
+            np.repeat(indptr[:-1] + rounds, rest_counts)
+            + segment_ranges(rest_counts)
+        )
+        batches.append(SubgraphBatch("remainder", src, indices[offsets]))
+    else:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        batches.append(SubgraphBatch("remainder", empty, empty))
+    return batches
+
+
+def optimal_sampling(graph: CSRGraph) -> list[SubgraphBatch]:
+    """The optimal-subgraph reference: a spanning forest first, then the
+    remaining edges.
+
+    After the first batch every component is fully linked (an SF preserves
+    connectivity), so linkage and coverage hit 1.0 at
+    ``(|V| - C) / |E|`` of the edges processed — the theoretical best any
+    strategy can do.
+    """
+    sf = spanning_forest(graph)
+    key_n = max(graph.num_vertices, 1)
+    sf_keys = np.minimum(sf.src, sf.dst) * np.int64(key_n) + np.maximum(
+        sf.src, sf.dst
+    )
+
+    src_all = graph.sources()
+    dst_all = graph.indices
+    keys = np.minimum(src_all, dst_all) * np.int64(key_n) + np.maximum(
+        src_all, dst_all
+    )
+    in_sf = np.isin(keys, sf_keys)
+    return [
+        SubgraphBatch("spanning forest", src_all[in_sf], dst_all[in_sf]),
+        SubgraphBatch("remainder", src_all[~in_sf], dst_all[~in_sf]),
+    ]
+
+
+#: name -> callable(graph) using the Fig. 6 defaults.
+STRATEGIES = {
+    "row": row_sampling,
+    "uniform": uniform_edge_sampling,
+    "neighbor": neighbor_sampling,
+    "optimal": optimal_sampling,
+}

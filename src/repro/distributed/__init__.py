@@ -1,0 +1,33 @@
+"""Distributed-memory Afforest (the paper's first future-work direction).
+
+The conclusions propose "generaliz[ing] the algorithm to distributed
+memory environments".  This subpackage builds that generalisation on a
+simulated message-passing substrate:
+
+- :mod:`~repro.distributed.comm` — a BSP-style simulated communicator:
+  ranks hold private state, exchange messages in supersteps, and every
+  byte moved is accounted (the distributed analogue of the shared-memory
+  machine's operation counters);
+- :mod:`~repro.distributed.partition` — 1-D edge partitioners (block and
+  hash) over the ranks;
+- :mod:`~repro.distributed.dist_cc` — the algorithm: each rank runs the
+  Afforest core (link + compress) over its edge partition to produce a
+  local parent forest, then forests merge up a reduction tree — merging
+  two parent arrays is itself a ``link_batch`` over the pairs
+  ``(v, other_pi[v])``, a direct application of the paper's subgraph-
+  processing property (Sec. III-B: the "edges" of another rank's forest
+  are just one more subgraph).
+"""
+
+from repro.distributed.comm import CommStats, SimulatedComm
+from repro.distributed.dist_cc import DistCCResult, distributed_components
+from repro.distributed.partition import partition_edges_block, partition_edges_hash
+
+__all__ = [
+    "CommStats",
+    "SimulatedComm",
+    "DistCCResult",
+    "distributed_components",
+    "partition_edges_block",
+    "partition_edges_hash",
+]

@@ -1,0 +1,108 @@
+"""Simulated message-passing communicator (BSP supersteps).
+
+Mirrors the slice of MPI the distributed algorithm needs — point-to-point
+array sends within a superstep and a broadcast — while accounting every
+transferred byte per rank pair.  Ranks are simulated as explicit state
+owned by a driver; the communicator is the *only* channel through which
+data may cross ranks, so message accounting is complete by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CommStats:
+    """Traffic accounting for a simulated communicator."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    supersteps: int = 0
+    #: bytes per (src, dst) rank pair.
+    by_pair: dict = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        key = (src, dst)
+        self.by_pair[key] = self.by_pair.get(key, 0) + nbytes
+
+
+class SimulatedComm:
+    """A ``num_ranks``-way communicator with superstep semantics.
+
+    Within a superstep, ranks enqueue sends; :meth:`step` delivers all
+    pending messages at once (BSP barrier).  Receives drain the inbox in
+    arrival order.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.stats = CommStats()
+        self._outbox: list[tuple[int, int, np.ndarray]] = []
+        self._inbox: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(num_ranks)
+        ]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ConfigurationError(
+                f"rank {rank} out of range for {self.num_ranks}-rank world"
+            )
+
+    def send(self, src: int, dst: int, array: np.ndarray) -> None:
+        """Enqueue an array from ``src`` to ``dst`` (delivered at the next
+        superstep barrier).  The array is copied — ranks share no memory."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.ascontiguousarray(array).copy()
+        self.stats.record(src, dst, payload.nbytes)
+        self._outbox.append((src, dst, payload))
+
+    def step(self) -> None:
+        """Superstep barrier: deliver all enqueued messages."""
+        self.stats.supersteps += 1
+        for src, dst, payload in self._outbox:
+            self._inbox[dst].append((src, payload))
+        self._outbox = []
+
+    def recv(self, rank: int, src: int | None = None) -> np.ndarray:
+        """Pop the next delivered message for ``rank`` (optionally from a
+        specific source).  Raises if none is available."""
+        self._check_rank(rank)
+        inbox = self._inbox[rank]
+        for i, (s, payload) in enumerate(inbox):
+            if src is None or s == src:
+                inbox.pop(i)
+                return payload
+        raise ConfigurationError(
+            f"rank {rank} has no pending message"
+            + (f" from {src}" if src is not None else "")
+        )
+
+    def pending(self, rank: int) -> int:
+        """Number of delivered-but-unread messages for ``rank``."""
+        self._check_rank(rank)
+        return len(self._inbox[rank])
+
+    def broadcast(self, root: int, array: np.ndarray) -> list[np.ndarray]:
+        """Deliver ``array`` from ``root`` to every rank immediately
+        (counted as ``num_ranks - 1`` messages); returns per-rank copies."""
+        self._check_rank(root)
+        out = []
+        for dst in range(self.num_ranks):
+            if dst == root:
+                out.append(array)
+                continue
+            payload = np.ascontiguousarray(array).copy()
+            self.stats.record(root, dst, payload.nbytes)
+            out.append(payload)
+        self.stats.supersteps += 1
+        return out

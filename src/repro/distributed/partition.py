@@ -1,0 +1,52 @@
+"""Edge partitioners for the distributed algorithm.
+
+Both return one ``(src, dst)`` pair of arrays per rank, together covering
+each undirected edge exactly once (the distributed algorithm needs no
+mirror edges: rank-local link is orientation-agnostic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+
+
+def _check(num_ranks: int) -> None:
+    if num_ranks < 1:
+        raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
+
+
+def partition_edges_block(
+    graph: CSRGraph, num_ranks: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Contiguous blocks of the (source-sorted) undirected edge list.
+
+    Preserves source locality per rank — the distributed analogue of
+    row-block partitioning, and like it (Fig. 6) the weaker choice for
+    early convergence; included as the baseline partitioner.
+    """
+    _check(num_ranks)
+    src, dst = graph.undirected_edge_array()
+    bounds = np.linspace(0, src.shape[0], num_ranks + 1).astype(np.int64)
+    return [
+        (src[bounds[r] : bounds[r + 1]], dst[bounds[r] : bounds[r + 1]])
+        for r in range(num_ranks)
+    ]
+
+
+def partition_edges_hash(
+    graph: CSRGraph, num_ranks: int, *, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Pseudo-random edge assignment (hash of the edge id).
+
+    Spreads every vertex's edges across ranks, so each rank's local forest
+    already approximates the global components — the distributed
+    counterpart of neighbour sampling's evenly-spread edge budget.
+    """
+    _check(num_ranks)
+    src, dst = graph.undirected_edge_array()
+    rng = np.random.default_rng(seed)
+    owner = rng.integers(0, num_ranks, size=src.shape[0])
+    return [(src[owner == r], dst[owner == r]) for r in range(num_ranks)]

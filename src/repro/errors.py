@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single type at an API boundary.  Specific subclasses exist for the
+three failure domains: malformed graph inputs, violated algorithm invariants
+(which indicate a library bug or deliberately adversarial misuse of low-level
+primitives), and misconfigured execution parameters.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is structurally invalid.
+
+    Examples: a CSR index array that is not monotone, an edge array referring
+    to vertices outside ``[0, n)``, or a file in an unrecognised format.
+    """
+
+
+class InvariantViolationError(ReproError):
+    """Raised when a runtime check detects a broken algorithm invariant.
+
+    The central invariant of the Afforest/SV family is Invariant 1 of the
+    paper: ``pi[x] <= x`` for every vertex ``x``.  Checks are only performed
+    when explicitly requested (debug/validation paths), never in hot kernels.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid execution parameters.
+
+    Examples: a non-positive worker count for the simulated machine, a
+    sampling probability outside ``(0, 1]``, or a negative number of
+    neighbour rounds.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm exceeds its iteration safety cap.
+
+    The parallel algorithms in this library all provably converge; the cap
+    exists to convert a latent bug into a loud failure instead of a hang.
+    """

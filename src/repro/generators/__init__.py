@@ -1,0 +1,31 @@
+"""Synthetic graph generators: proxies for every dataset class in Table III.
+
+Every generator routes randomness through an explicit seed, returns a
+:class:`~repro.graph.csr.CSRGraph`, and is deterministic for a given
+(parameters, seed) pair.
+"""
+
+from repro.generators.uniform import uniform_random_graph
+from repro.generators.kronecker import kronecker_graph
+from repro.generators.regular import random_regular_graph
+from repro.generators.lattice import grid_graph, road_network_graph
+from repro.generators.smallworld import watts_strogatz_graph, web_graph
+from repro.generators.powerlaw import barabasi_albert_graph, chung_lu_graph
+from repro.generators.components import component_fraction_graph
+from repro.generators.datasets import DATASETS, DatasetSpec, load_dataset
+
+__all__ = [
+    "uniform_random_graph",
+    "kronecker_graph",
+    "random_regular_graph",
+    "grid_graph",
+    "road_network_graph",
+    "watts_strogatz_graph",
+    "web_graph",
+    "barabasi_albert_graph",
+    "chung_lu_graph",
+    "component_fraction_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+]

@@ -1,0 +1,101 @@
+"""Component-fraction graphs for the Fig. 8c experiment.
+
+The paper (Sec. VI-C): "we generate uniformly random (urand) graphs with an
+additional parameter — average component fraction f in (0, 1] — s.t. the
+resulting graph has (in expectation) floor(1/f) components of size
+floor(|V| * f) and a component with the remaining vertices."
+
+Construction: partition the vertex set into ``floor(1/f)`` blocks of size
+``floor(n * f)`` plus one remainder block; draw uniformly random edges
+*within* each block, allocating the global edge budget proportionally to
+block size so each block keeps the same expected average degree.  With the
+GAP edge factor (16) every block is internally connected almost surely, so
+block = component holds in practice; the property tests assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.errors import ConfigurationError
+from repro.generators.rng import make_rng, require_positive
+from repro.graph.builder import build_csr
+from repro.graph.coo import EdgeList
+from repro.graph.csr import CSRGraph
+
+
+def component_blocks(num_vertices: int, fraction: float) -> np.ndarray:
+    """Block sizes for a component-fraction graph.
+
+    Returns an array of block sizes summing to ``num_vertices``:
+    ``floor(1 / fraction)`` blocks of ``floor(n * fraction)`` vertices,
+    then one block holding the remainder (if any).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must lie in (0, 1], got {fraction}")
+    block = int(num_vertices * fraction)
+    if block < 1:
+        raise ConfigurationError(
+            f"fraction {fraction} yields empty blocks for n={num_vertices}"
+        )
+    count = int(1.0 / fraction)
+    count = min(count, num_vertices // block)
+    sizes = [block] * count
+    rest = num_vertices - block * count
+    if rest:
+        sizes.append(rest)
+    return np.asarray(sizes, dtype=VERTEX_DTYPE)
+
+
+def component_fraction_graph(
+    num_vertices: int,
+    fraction: float,
+    *,
+    edge_factor: float = 16.0,
+    seed: int | np.random.Generator | None = 0,
+    shuffle_labels: bool = True,
+    sort_neighbors: bool = True,
+) -> CSRGraph:
+    """urand graph whose components each span ~``fraction`` of the vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Total vertex count ``n``.
+    fraction:
+        Average component fraction ``f`` in ``(0, 1]``.
+    edge_factor:
+        Edge draws per vertex, allocated to blocks proportionally to size.
+    shuffle_labels:
+        Randomly permute vertex ids so block membership is not encoded in
+        id ranges (matches how real multi-component graphs present).
+    """
+    require_positive("num_vertices", num_vertices)
+    rng = make_rng(seed)
+    sizes = component_blocks(num_vertices, fraction)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for b, size in enumerate(sizes.tolist()):
+        base = int(offsets[b])
+        m_b = int(round(edge_factor * size))
+        if size == 1 or m_b == 0:
+            continue
+        src_parts.append(
+            base + rng.integers(0, size, size=m_b, dtype=VERTEX_DTYPE)
+        )
+        dst_parts.append(
+            base + rng.integers(0, size, size=m_b, dtype=VERTEX_DTYPE)
+        )
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = dst = np.empty(0, dtype=VERTEX_DTYPE)
+    edges = EdgeList(num_vertices, src, dst)
+    if shuffle_labels:
+        perm = rng.permutation(num_vertices).astype(VERTEX_DTYPE)
+        edges = edges.relabeled(perm, num_vertices)
+    return build_csr(edges, sort_neighbors=sort_neighbors)

@@ -1,0 +1,141 @@
+"""The evaluation dataset registry: scaled proxies of Table III.
+
+The paper evaluates on the GAP suite's datasets.  The originals range from
+24M to 174M vertices; this library regenerates each *topology class* at a
+configurable scale tier so the full benchmark matrix runs on one machine:
+
+=============  =====================================  =========================
+name           paper original                         proxy generator
+=============  =====================================  =========================
+``road``       USA road network (n=23.9M, d~2.4)      perturbed grid
+``osm-eur``    OSM Europe (n=174M, d~2.1)             sparser perturbed grid
+``twitter``    Twitter follower graph (n=61.6M)       Chung–Lu power law
+``web``        sk-2005 crawl (n=50.6M)                ring locality + hubs
+``kron``       Graph500 Kronecker (scale 27, ef 16)   R-MAT
+``urand``      uniform random (scale 27, ef 16)       G(n, m)
+``kron-gpu``   Kronecker (GPU-sized)                  R-MAT, smaller
+``urand-gpu``  uniform random (GPU-sized)             G(n, m), smaller
+=============  =====================================  =========================
+
+Size tiers scale the vertex count; topology parameters (degrees, locality,
+drop rates) stay fixed so the *shape* of every measured effect carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.generators.kronecker import kronecker_graph
+from repro.generators.lattice import road_network_graph
+from repro.generators.powerlaw import chung_lu_graph
+from repro.generators.smallworld import web_graph
+from repro.generators.uniform import uniform_random_graph
+from repro.graph.csr import CSRGraph
+
+#: log2 vertex-count budget per size tier.
+SIZE_TIERS = {
+    "tiny": 10,
+    "small": 13,
+    "default": 16,
+    "large": 18,
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset class and its proxy generator."""
+
+    name: str
+    description: str
+    #: generator(scale, seed) -> CSRGraph, where 2**scale ~ vertex budget.
+    factory: Callable[[int, int], CSRGraph]
+
+
+def _road(scale: int, seed: int) -> CSRGraph:
+    side = int(round(2 ** (scale / 2)))
+    return road_network_graph(side, side, drop=0.05, highway=0.0005, seed=seed)
+
+
+def _osm_eur(scale: int, seed: int) -> CSRGraph:
+    side = int(round(2 ** (scale / 2)))
+    # Heavier edge dropping: sparser, higher-diameter, more fragmented.
+    return road_network_graph(side, side, drop=0.12, highway=0.0, seed=seed)
+
+
+def _twitter(scale: int, seed: int) -> CSRGraph:
+    return chung_lu_graph(
+        1 << scale, exponent=2.1, mean_degree=24.0, seed=seed
+    )
+
+
+def _web(scale: int, seed: int) -> CSRGraph:
+    return web_graph(
+        1 << scale, local_k=8, rewire=0.01, hub_edges_per_vertex=4, seed=seed
+    )
+
+
+def _kron(scale: int, seed: int) -> CSRGraph:
+    return kronecker_graph(scale, edge_factor=16.0, seed=seed)
+
+
+def _urand(scale: int, seed: int) -> CSRGraph:
+    return uniform_random_graph(1 << scale, edge_factor=16.0, seed=seed)
+
+
+def _kron_gpu(scale: int, seed: int) -> CSRGraph:
+    return kronecker_graph(max(scale - 2, 1), edge_factor=16.0, seed=seed)
+
+
+def _urand_gpu(scale: int, seed: int) -> CSRGraph:
+    return uniform_random_graph(1 << max(scale - 2, 1), edge_factor=16.0, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "road": DatasetSpec("road", "USA-road proxy: perturbed grid", _road),
+    "osm-eur": DatasetSpec("osm-eur", "OSM-Europe proxy: sparse grid", _osm_eur),
+    "twitter": DatasetSpec("twitter", "social-network proxy: Chung-Lu", _twitter),
+    "web": DatasetSpec("web", "web-crawl proxy: locality + hubs", _web),
+    "kron": DatasetSpec("kron", "Graph500 Kronecker", _kron),
+    "urand": DatasetSpec("urand", "uniform random G(n,m)", _urand),
+    "kron-gpu": DatasetSpec("kron-gpu", "Kronecker, GPU-sized", _kron_gpu),
+    "urand-gpu": DatasetSpec("urand-gpu", "uniform random, GPU-sized", _urand_gpu),
+}
+
+#: The dataset names used by the CPU performance figures (Fig. 8a).
+CPU_SUITE = ("road", "osm-eur", "twitter", "web", "kron", "urand")
+
+#: The dataset names used by the GPU comparison.
+GPU_SUITE = ("road", "osm-eur", "twitter", "web", "kron-gpu", "urand-gpu")
+
+
+def load_dataset(
+    name: str,
+    size: str = "default",
+    *,
+    seed: int = 42,
+) -> CSRGraph:
+    """Generate the proxy graph for dataset ``name`` at a size tier.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASETS`.
+    size:
+        One of :data:`SIZE_TIERS` (``tiny``/``small``/``default``/``large``)
+        — log2 vertex budgets 10/13/16/18.
+    seed:
+        Generation seed; the (name, size, seed) triple is deterministic.
+    """
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    scale = SIZE_TIERS.get(size)
+    if scale is None:
+        raise ConfigurationError(
+            f"unknown size tier {size!r}; available: {sorted(SIZE_TIERS)}"
+        )
+    return spec.factory(scale, seed)

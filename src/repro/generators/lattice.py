@@ -1,0 +1,109 @@
+"""Lattice-based road-network proxies.
+
+The paper's ``road`` (USA road network) and ``osm-eur`` (OpenStreetMap
+Europe) datasets are planar, low-degree (mean ~2.2–2.4), huge-diameter
+graphs.  A 2-D grid captures all three properties; two perturbations tune it
+toward realism:
+
+- ``drop`` removes a fraction of grid edges (dead ends, irregular blocks —
+  raises the diameter further and can split off small components, matching
+  OSM extracts);
+- ``highway`` adds a sparse set of longer-range shortcut edges (motorways),
+  lowering the diameter slightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.generators.rng import (
+    make_rng,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+)
+from repro.graph.builder import build_csr
+from repro.graph.coo import EdgeList
+from repro.graph.csr import CSRGraph
+
+
+def grid_edges(rows: int, cols: int, *, periodic: bool = False) -> EdgeList:
+    """Edge list of the ``rows x cols`` 4-neighbour grid.
+
+    Vertex ``(r, c)`` has id ``r * cols + c``.  ``periodic`` wraps both
+    dimensions (torus).
+    """
+    require_positive("rows", rows)
+    require_positive("cols", cols)
+    n = rows * cols
+    ids = np.arange(n, dtype=VERTEX_DTYPE).reshape(rows, cols)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    # Horizontal edges.
+    src_parts.append(ids[:, :-1].ravel())
+    dst_parts.append(ids[:, 1:].ravel())
+    # Vertical edges.
+    src_parts.append(ids[:-1, :].ravel())
+    dst_parts.append(ids[1:, :].ravel())
+    if periodic:
+        if cols > 2:
+            src_parts.append(ids[:, -1].ravel())
+            dst_parts.append(ids[:, 0].ravel())
+        if rows > 2:
+            src_parts.append(ids[-1, :].ravel())
+            dst_parts.append(ids[0, :].ravel())
+    return EdgeList(
+        n, np.concatenate(src_parts), np.concatenate(dst_parts)
+    )
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    *,
+    periodic: bool = False,
+    sort_neighbors: bool = True,
+) -> CSRGraph:
+    """The plain ``rows x cols`` grid graph."""
+    return build_csr(grid_edges(rows, cols, periodic=periodic), sort_neighbors=sort_neighbors)
+
+
+def road_network_graph(
+    rows: int,
+    cols: int,
+    *,
+    drop: float = 0.05,
+    highway: float = 0.001,
+    seed: int | np.random.Generator | None = 0,
+    sort_neighbors: bool = True,
+) -> CSRGraph:
+    """Road-network proxy: perturbed grid.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; ``n = rows * cols``.
+    drop:
+        Fraction of grid edges removed uniformly at random.
+    highway:
+        Number of random long-range shortcut edges, as a fraction of ``n``.
+    """
+    require_probability("drop", drop)
+    require_nonnegative("highway", highway)
+    rng = make_rng(seed)
+    base = grid_edges(rows, cols)
+    n = base.num_vertices
+
+    keep = rng.random(base.num_edges) >= drop
+    src = base.src[keep]
+    dst = base.dst[keep]
+
+    extra = int(round(highway * n))
+    if extra:
+        hw_src = rng.integers(0, n, size=extra, dtype=VERTEX_DTYPE)
+        hw_dst = rng.integers(0, n, size=extra, dtype=VERTEX_DTYPE)
+        src = np.concatenate([src, hw_src])
+        dst = np.concatenate([dst, hw_dst])
+    return build_csr(EdgeList(n, src, dst), sort_neighbors=sort_neighbors)

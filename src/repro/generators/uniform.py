@@ -1,0 +1,55 @@
+"""Uniformly random graphs (the paper's ``urand`` datasets).
+
+The GAP benchmark's ``-u`` generator draws ``edge_factor * n`` undirected
+edges with endpoints uniform over ``[0, n)``; duplicates and self loops are
+dropped during CSR construction, exactly as the GAP loader does.  The paper
+uses ``urand`` (scale 27) on CPUs and ``urand-gpu`` (scale 24) on the GPU;
+our proxies default to the same structure at smaller scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.generators.rng import make_rng, require_nonnegative, require_positive
+from repro.graph.builder import build_csr
+from repro.graph.coo import EdgeList
+from repro.graph.csr import CSRGraph
+
+
+def uniform_random_graph(
+    num_vertices: int,
+    *,
+    edge_factor: float = 16.0,
+    num_edges: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+    sort_neighbors: bool = True,
+) -> CSRGraph:
+    """Erdős–Rényi-style ``G(n, m)`` graph with uniform random endpoints.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    edge_factor:
+        Undirected edges drawn per vertex (GAP default 16).  Ignored when
+        ``num_edges`` is given.
+    num_edges:
+        Exact number of edge draws (before dedup / self-loop removal).
+    seed:
+        RNG seed or generator.
+    sort_neighbors:
+        Forwarded to the CSR builder.
+    """
+    require_positive("num_vertices", num_vertices)
+    rng = make_rng(seed)
+    if num_edges is None:
+        require_nonnegative("edge_factor", edge_factor)
+        num_edges = int(round(edge_factor * num_vertices))
+    require_nonnegative("num_edges", num_edges)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=VERTEX_DTYPE)
+    return build_csr(
+        EdgeList(num_vertices, src, dst), sort_neighbors=sort_neighbors
+    )

@@ -1,0 +1,80 @@
+"""NetworkX interoperability.
+
+NetworkX is the lingua franca for small-graph work in Python; these
+adapters let users bring existing graphs in and take results out.  The
+test suite also uses NetworkX's ``connected_components`` as a third
+independent oracle (next to sequential union-find and scipy.csgraph).
+
+NetworkX is an *optional* dependency: importing this module without it
+raises ImportError, nothing else in the library depends on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import networkx as nx
+
+from repro.constants import VERTEX_DTYPE
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_csr
+from repro.graph.coo import EdgeList
+from repro.graph.csr import CSRGraph
+
+__all__ = ["from_networkx", "to_networkx", "components_as_sets"]
+
+
+def from_networkx(nx_graph: "nx.Graph") -> tuple[CSRGraph, list]:
+    """Convert an undirected NetworkX graph to a CSR graph.
+
+    Node objects are mapped to dense integer ids in sorted-insertion
+    order; the mapping is returned alongside the graph so labels can be
+    translated back (``node = mapping[vertex_id]``).
+
+    Directed graphs are rejected — connectivity here is undirected;
+    call ``nx_graph.to_undirected()`` first if that is what you mean.
+    """
+    if nx_graph.is_directed():
+        raise GraphFormatError(
+            "directed NetworkX graphs are not supported; "
+            "convert with to_undirected() first"
+        )
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    m = nx_graph.number_of_edges()
+    src = np.empty(m, dtype=VERTEX_DTYPE)
+    dst = np.empty(m, dtype=VERTEX_DTYPE)
+    for i, (u, v) in enumerate(nx_graph.edges()):
+        src[i] = index[u]
+        dst[i] = index[v]
+    graph = build_csr(EdgeList(len(nodes), src, dst))
+    return graph, nodes
+
+
+def to_networkx(graph: CSRGraph) -> "nx.Graph":
+    """Convert a CSR graph to an undirected NetworkX graph.
+
+    Isolated vertices are preserved as nodes.
+    """
+    out = nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.undirected_edge_array()
+    out.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return out
+
+
+def components_as_sets(
+    labels: np.ndarray, mapping: list | None = None
+) -> list[set]:
+    """Group a label array into component sets (NetworkX's output shape).
+
+    With ``mapping`` (from :func:`from_networkx`), sets contain the
+    original node objects; otherwise integer vertex ids.  Components are
+    ordered by descending size (stable: ties keep first-seen order).
+    """
+    labels = np.asarray(labels)
+    groups: dict[int, set] = {}
+    for v, lab in enumerate(labels.tolist()):
+        member = mapping[v] if mapping is not None else v
+        groups.setdefault(int(lab), set()).add(member)
+    return sorted(groups.values(), key=len, reverse=True)

@@ -1,0 +1,219 @@
+"""Graph serialization: edge-list text, METIS, and binary ``.npz``.
+
+Three interchange formats cover the ecosystems the paper's datasets come
+from:
+
+- **edge-list text** (``.el`` — the GAP loader's plain format): one
+  ``u v`` pair per line, ``#`` comments allowed;
+- **METIS** (``.graph``): header ``n m`` then one line of (1-based)
+  neighbours per vertex;
+- **npz binary**: the CSR arrays verbatim, the fastest round-trip.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "load_npz",
+    "save_npz",
+    "load_graph",
+    "save_graph",
+]
+
+
+# --------------------------------------------------------------------- #
+# edge-list text
+# --------------------------------------------------------------------- #
+
+
+def read_edge_list(path: str | os.PathLike | TextIO, **build_kwargs) -> CSRGraph:
+    """Read a whitespace-separated edge-list file into a CSR graph.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines are
+    skipped.  Extra columns beyond the first two (e.g. weights) are ignored.
+    """
+    close = False
+    if isinstance(path, (str, os.PathLike)):
+        fh: TextIO = open(path, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        src_l: list[int] = []
+        dst_l: list[int] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"edge list line {lineno}: expected at least two columns"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"edge list line {lineno}: non-integer endpoint"
+                ) from exc
+            src_l.append(u)
+            dst_l.append(v)
+    finally:
+        if close:
+            fh.close()
+    src = np.asarray(src_l, dtype=VERTEX_DTYPE)
+    dst = np.asarray(dst_l, dtype=VERTEX_DTYPE)
+    return from_edge_array(src, dst, **build_kwargs)
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike | TextIO) -> None:
+    """Write each undirected edge once as a ``u v`` line."""
+    close = False
+    if isinstance(path, (str, os.PathLike)):
+        fh: TextIO = open(path, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = path
+    try:
+        src, dst = graph.undirected_edge_array()
+        buf = io.StringIO()
+        for u, v in zip(src, dst):
+            buf.write(f"{u} {v}\n")
+        fh.write(buf.getvalue())
+    finally:
+        if close:
+            fh.close()
+
+
+# --------------------------------------------------------------------- #
+# METIS
+# --------------------------------------------------------------------- #
+
+
+def read_metis(path: str | os.PathLike) -> CSRGraph:
+    """Read a METIS ``.graph`` file (unweighted, 1-based vertex ids)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header: list[str] | None = None
+        rows: list[list[int]] = []
+        for line in fh:
+            line = line.strip()
+            if line.startswith("%"):
+                continue
+            if header is None:
+                if not line:
+                    continue  # leading blank lines before the header
+                header = line.split()
+                continue
+            # After the header every non-comment line is a vertex row; a
+            # blank line is a vertex with no neighbours.
+            rows.append([int(tok) for tok in line.split()])
+    if header is None:
+        raise GraphFormatError("METIS file has no header line")
+    if len(header) < 2:
+        raise GraphFormatError("METIS header must contain 'n m'")
+    n, m = int(header[0]), int(header[1])
+    if len(header) >= 3 and header[2] not in ("0", "00", "000"):
+        raise GraphFormatError("weighted METIS graphs are not supported")
+    if len(rows) != n:
+        raise GraphFormatError(
+            f"METIS header declares {n} vertices but file has {len(rows)} rows"
+        )
+    indptr = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+    for v, row in enumerate(rows):
+        indptr[v + 1] = indptr[v] + len(row)
+    indices = np.fromiter(
+        (w - 1 for row in rows for w in row),
+        dtype=VERTEX_DTYPE,
+        count=int(indptr[-1]),
+    )
+    graph = CSRGraph(indptr, indices)
+    if graph.num_edges != m:
+        raise GraphFormatError(
+            f"METIS header declares {m} edges but adjacency encodes {graph.num_edges}"
+        )
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a METIS ``.graph`` file (unweighted, 1-based vertex ids)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            fh.write(" ".join(str(int(w) + 1) for w in graph.neighbors(v)))
+            fh.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# npz binary
+# --------------------------------------------------------------------- #
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path), indptr=graph.indptr, indices=graph.indices
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise GraphFormatError("npz file missing 'indptr'/'indices' arrays")
+        return CSRGraph(data["indptr"], data["indices"])
+
+
+# --------------------------------------------------------------------- #
+# extension dispatch
+# --------------------------------------------------------------------- #
+
+_LOADERS = {
+    ".el": read_edge_list,
+    ".txt": read_edge_list,
+    ".edges": read_edge_list,
+    ".graph": read_metis,
+    ".metis": read_metis,
+    ".npz": load_npz,
+}
+
+_SAVERS = {
+    ".el": write_edge_list,
+    ".txt": write_edge_list,
+    ".edges": write_edge_list,
+    ".graph": write_metis,
+    ".metis": write_metis,
+    ".npz": save_npz,
+}
+
+
+def load_graph(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph, dispatching on file extension."""
+    suffix = Path(path).suffix.lower()
+    loader = _LOADERS.get(suffix)
+    if loader is None:
+        raise GraphFormatError(f"unrecognised graph file extension: {suffix!r}")
+    return loader(path)
+
+
+def save_graph(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save a graph, dispatching on file extension."""
+    suffix = Path(path).suffix.lower()
+    saver = _SAVERS.get(suffix)
+    if saver is None:
+        raise GraphFormatError(f"unrecognised graph file extension: {suffix!r}")
+    saver(graph, path)

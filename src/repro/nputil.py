@@ -1,0 +1,51 @@
+"""Shared vectorised array utilities.
+
+These implement the flat "expand CSR slices without a Python loop" patterns
+used across the library: frontier expansion in BFS, remaining-neighbour
+flattening in Afforest's final phase, and frontier edge gathering in
+data-driven label propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+
+__all__ = ["segment_ranges", "expand_slices"]
+
+
+def segment_ranges(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each ``c`` in ``counts``.
+
+    ``segment_ranges([2, 0, 3]) == [0, 1, 0, 1, 2]``.  Zero-length segments
+    contribute nothing (and are dropped up front so the boundary resets
+    land on distinct positions).
+    """
+    nz = counts[counts > 0].astype(VERTEX_DTYPE)
+    total = int(nz.sum())
+    if total == 0:
+        return np.empty(0, dtype=VERTEX_DTYPE)
+    out = np.ones(total, dtype=VERTEX_DTYPE)
+    out[0] = 0
+    if nz.shape[0] > 1:
+        out[np.cumsum(nz)[:-1]] = 1 - nz[:-1]
+    return np.cumsum(out)
+
+
+def expand_slices(
+    starts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the slices ``[starts[i], starts[i] + counts[i])``.
+
+    Returns ``(owner, offset)``: ``owner[k]`` is the slice index that
+    produced flat element ``k`` and ``offset[k]`` its absolute position.
+    The core idiom for touching the CSR neighbourhoods of a vertex set in
+    one vectorised gather.
+    """
+    counts = np.maximum(counts, 0)
+    owner = np.repeat(
+        np.arange(counts.shape[0], dtype=VERTEX_DTYPE), counts
+    )
+    offset = np.repeat(starts, counts) + segment_ranges(counts)
+    return owner, offset

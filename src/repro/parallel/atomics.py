@@ -1,0 +1,80 @@
+"""Atomic operations over NumPy arrays, with contention accounting.
+
+The simulated machine interleaves workers between shared-memory operations,
+so a plain read-modify-write is genuinely racy in the simulation; kernels
+must use :class:`AtomicView` for conditional writes exactly where the
+paper's C++ uses ``compare_exchange``.  Every CAS attempt and failure is
+counted — the failure counts are the library's contention metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AtomicStats:
+    """Operation counters for one atomic view."""
+
+    reads: int = 0
+    writes: int = 0
+    cas_attempts: int = 0
+    cas_failures: int = 0
+
+    def merge(self, other: "AtomicStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.cas_attempts += other.cas_attempts
+        self.cas_failures += other.cas_failures
+
+
+@dataclass
+class AtomicView:
+    """Atomic access wrapper over a 1-D NumPy array.
+
+    In the simulated machine there is only one OS thread, so operations are
+    trivially atomic; the class exists to (a) force kernels to declare which
+    accesses are atomic, mirroring the paper's implementation, and (b) count
+    contention: a CAS *fails* when the observed value no longer matches the
+    expected one, exactly as on hardware.
+    """
+
+    array: np.ndarray
+    stats: AtomicStats = field(default_factory=AtomicStats)
+
+    def load(self, idx: int) -> int:
+        """Atomic read."""
+        self.stats.reads += 1
+        return int(self.array[idx])
+
+    def store(self, idx: int, value: int) -> None:
+        """Atomic write."""
+        self.stats.writes += 1
+        self.array[idx] = value
+
+    def compare_and_swap(self, idx: int, expected: int, new: int) -> bool:
+        """Write ``new`` iff the current value equals ``expected``.
+
+        Returns True on success.  Failure increments the contention counter.
+        """
+        self.stats.cas_attempts += 1
+        if int(self.array[idx]) == expected:
+            self.array[idx] = new
+            return True
+        self.stats.cas_failures += 1
+        return False
+
+    def min_write(self, idx: int, value: int) -> bool:
+        """Atomic ``array[idx] = min(array[idx], value)`` via CAS loop.
+
+        Returns True if the stored value decreased.  This is the atomic-min
+        primitive used by data-driven label propagation.
+        """
+        while True:
+            cur = self.load(idx)
+            if value >= cur:
+                return False
+            if self.compare_and_swap(idx, cur, value):
+                return True

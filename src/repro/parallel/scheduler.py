@@ -1,0 +1,69 @@
+"""Work partitioning for the simulated machine.
+
+Mirrors OpenMP loop schedules: ``block`` (static contiguous ranges, the GAP
+default and what the paper's CSR kernels use), ``cyclic`` (stride-p
+round-robin), and ``chunk`` (static chunks dealt round-robin, approximating
+``schedule(dynamic, chunk)`` without a runtime queue — the simulator is
+deterministic, so a deterministic deal is the faithful analogue).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_CHUNK_SIZE, VERTEX_DTYPE
+from repro.errors import ConfigurationError
+
+__all__ = ["partition_indices"]
+
+
+def partition_indices(
+    items: int | np.ndarray,
+    num_workers: int,
+    *,
+    schedule: str = "block",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[np.ndarray]:
+    """Split an index range (or explicit item array) across workers.
+
+    Parameters
+    ----------
+    items:
+        Either an item count ``n`` (items are ``0..n-1``) or an explicit
+        array of item ids.
+    num_workers:
+        Number of workers ``p``; the result has exactly ``p`` entries (some
+        possibly empty).
+    schedule:
+        ``block`` | ``cyclic`` | ``chunk``.
+    chunk_size:
+        Chunk granularity for the ``chunk`` schedule.
+    """
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    if isinstance(items, (int, np.integer)):
+        if items < 0:
+            raise ConfigurationError(f"item count must be >= 0, got {items}")
+        ids = np.arange(int(items), dtype=VERTEX_DTYPE)
+    else:
+        ids = np.ascontiguousarray(items, dtype=VERTEX_DTYPE)
+
+    p = num_workers
+    if schedule == "block":
+        return [chunk for chunk in np.array_split(ids, p)]
+    if schedule == "cyclic":
+        return [ids[w::p] for w in range(p)]
+    if schedule == "chunk":
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        nchunks = (ids.shape[0] + chunk_size - 1) // chunk_size
+        parts: list[list[np.ndarray]] = [[] for _ in range(p)]
+        for c in range(nchunks):
+            parts[c % p].append(ids[c * chunk_size : (c + 1) * chunk_size])
+        return [
+            np.concatenate(part) if part else np.empty(0, dtype=VERTEX_DTYPE)
+            for part in parts
+        ]
+    raise ConfigurationError(
+        f"unknown schedule {schedule!r}; expected block/cyclic/chunk"
+    )

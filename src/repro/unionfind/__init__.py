@@ -1,0 +1,6 @@
+"""Parent-array (π) machinery and the sequential union-find ground truth."""
+
+from repro.unionfind.parent import ParentArray
+from repro.unionfind.sequential import SequentialUnionFind, sequential_components
+
+__all__ = ["ParentArray", "SequentialUnionFind", "sequential_components"]

@@ -1,0 +1,141 @@
+"""Tests for the Linkage/Coverage convergence machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceCurve,
+    convergence_curve,
+    coverage,
+    linkage,
+)
+from repro.constants import VERTEX_DTYPE
+from repro.core.strategies import STRATEGIES, neighbor_sampling
+from repro.errors import ConfigurationError
+from repro.generators import uniform_random_graph, web_graph
+
+
+class TestMeasures:
+    def test_linkage_initial_zero(self):
+        pi = np.arange(10, dtype=VERTEX_DTYPE)
+        assert linkage(pi, final_components=2) == 0.0
+
+    def test_linkage_full(self):
+        pi = np.zeros(10, dtype=VERTEX_DTYPE)  # one tree
+        assert linkage(pi, final_components=1) == 1.0
+
+    def test_linkage_partial(self):
+        pi = np.array([0, 0, 2, 3], dtype=VERTEX_DTYPE)  # 3 trees, C=1
+        assert linkage(pi, 1) == pytest.approx((4 - 3) / (4 - 1))
+
+    def test_linkage_degenerate_all_singletons(self):
+        pi = np.arange(4, dtype=VERTEX_DTYPE)
+        assert linkage(pi, final_components=4) == 1.0
+
+    def test_coverage_initial(self):
+        pi = np.arange(10, dtype=VERTEX_DTYPE)
+        assert coverage(pi, largest_component_size=5) == pytest.approx(0.2)
+
+    def test_coverage_full(self):
+        pi = np.zeros(8, dtype=VERTEX_DTYPE)
+        assert coverage(pi, 8) == 1.0
+
+    def test_coverage_resolves_chains(self):
+        # Depth-3 chain counts as one tree of 4 vertices.
+        pi = np.array([0, 0, 1, 2, 4], dtype=VERTEX_DTYPE)
+        assert coverage(pi, 4) == 1.0
+
+
+class TestCurve:
+    def test_monotone_and_converges(self):
+        g = uniform_random_graph(300, edge_factor=6, seed=0)
+        batches = neighbor_sampling(g, rounds=2)
+        curve = convergence_curve(g, batches, resolution=20)
+        assert curve.linkage[0] == 0.0
+        assert curve.linkage[-1] == pytest.approx(1.0)
+        assert curve.coverage[-1] == pytest.approx(1.0)
+        assert all(
+            b >= a - 1e-12
+            for a, b in zip(curve.linkage, curve.linkage[1:])
+        )
+
+    def test_percent_axis(self):
+        g = uniform_random_graph(100, edge_factor=4, seed=1)
+        curve = convergence_curve(g, neighbor_sampling(g, 1), resolution=10)
+        pct = curve.percent_processed
+        assert pct[0] == 0.0
+        assert pct[-1] == pytest.approx(100.0)
+
+    def test_measure_at_lookup(self):
+        curve = ConvergenceCurve("x", edges_total=100)
+        curve.edges_processed = [0, 50, 100]
+        curve.linkage = [0.0, 0.6, 1.0]
+        curve.coverage = [0.1, 0.5, 1.0]
+        assert curve.linkage_at(50.0) == 0.6
+        assert curve.linkage_at(75.0) == 0.6
+        assert curve.coverage_at(100.0) == 1.0
+        assert curve.linkage_at(-5.0) == 0.0
+
+    def test_rejects_bad_resolution(self):
+        g = uniform_random_graph(50, edge_factor=2, seed=2)
+        with pytest.raises(ConfigurationError):
+            convergence_curve(g, neighbor_sampling(g, 1), resolution=0)
+
+
+class TestPaperShape:
+    """Fig. 6's qualitative ordering must hold on the web proxy."""
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        g = web_graph(2000, seed=0)
+        out = {}
+        for name, strategy in STRATEGIES.items():
+            out[name] = convergence_curve(
+                g, strategy(g), strategy_name=name, resolution=25
+            )
+        return out
+
+    def test_neighbor_beats_uniform_and_row(self, curves):
+        at = 20.0  # after ~20% of edges
+        assert curves["neighbor"].linkage_at(at) > curves["uniform"].linkage_at(at)
+        assert curves["neighbor"].linkage_at(at) > curves["row"].linkage_at(at)
+
+    def test_optimal_is_upper_bound_early(self, curves):
+        at = 10.0
+        for name in ("neighbor", "uniform", "row"):
+            assert curves["optimal"].linkage_at(at) >= curves[name].linkage_at(at) - 0.02
+
+    def test_neighbor_two_rounds_high_linkage(self, curves):
+        """Paper: ~83% linkage after two neighbour rounds (a small
+        fraction of the edges)."""
+        g_edges = curves["neighbor"].edges_total
+        # Two rounds touch at most 2n directed slots.
+        two_rounds_pct = 100.0 * 2 * 2000 / g_edges
+        assert curves["neighbor"].linkage_at(two_rounds_pct) > 0.7
+
+    def test_row_sampling_slowest(self, curves):
+        at = 30.0
+        assert curves["row"].coverage_at(at) <= curves["neighbor"].coverage_at(at)
+
+
+class TestCrossDatasetConsistency:
+    """Paper Sec. V-B: "adjacency matrix row sampling attains the slowest
+    rate of convergence.  This behavior is consistent with the other
+    tested graphs." — checked across topology classes, not just web."""
+
+    @pytest.mark.parametrize("dataset", ["twitter", "kron", "urand"])
+    def test_neighbor_dominates_row_everywhere(self, dataset):
+        from repro.generators import load_dataset
+
+        g = load_dataset(dataset, "tiny")
+        curves = {
+            name: convergence_curve(
+                g, STRATEGIES[name](g), strategy_name=name, resolution=20
+            )
+            for name in ("neighbor", "row")
+        }
+        for pct in (10.0, 25.0):
+            assert (
+                curves["neighbor"].linkage_at(pct)
+                >= curves["row"].linkage_at(pct) - 0.02
+            ), (dataset, pct)

@@ -1,0 +1,49 @@
+"""Tests for the work-efficiency report."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    WorkRecord,
+    work_efficiency_report,
+    work_ratio,
+)
+from repro.generators import grid_graph, uniform_random_graph
+
+
+@pytest.fixture(scope="module")
+def urand_report():
+    return work_efficiency_report(uniform_random_graph(1000, edge_factor=8, seed=0))
+
+
+class TestReport:
+    def test_all_algorithms_present(self, urand_report):
+        names = {r.algorithm for r in urand_report}
+        assert names == {
+            "afforest", "afforest-noskip", "dobfs", "bfs", "sv", "lp",
+            "lp-datadriven",
+        }
+
+    def test_paper_work_hierarchy_on_giant_urand(self, urand_report):
+        ratio = lambda a, b: work_ratio(urand_report, a, b)
+        # Afforest touches the least; SV and LP pay per-iteration |E|.
+        assert ratio("afforest", "sv") > 2.0
+        assert ratio("afforest", "lp") > 2.0
+        assert ratio("afforest", "bfs") > 1.0
+
+    def test_normalisation(self, urand_report):
+        bfs = next(r for r in urand_report if r.algorithm == "bfs")
+        assert bfs.edges_per_directed_edge == pytest.approx(1.0)
+
+    def test_detail_strings(self, urand_report):
+        sv = next(r for r in urand_report if r.algorithm == "sv")
+        assert "iterations" in sv.detail
+        af = next(r for r in urand_report if r.algorithm == "afforest")
+        assert "skipped" in af.detail
+
+    def test_lp_pays_for_diameter(self):
+        report = work_efficiency_report(grid_graph(24, 24))
+        assert work_ratio(report, "bfs", "lp") > 5.0
+
+    def test_datadriven_cheaper_than_sync_lp(self):
+        report = work_efficiency_report(grid_graph(20, 20))
+        assert work_ratio(report, "lp-datadriven", "lp") > 1.0

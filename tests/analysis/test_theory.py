@@ -1,0 +1,102 @@
+"""Empirical validation of the Sec. IV-B sampling theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    degree_one_miss_rate,
+    expected_sampled_edges,
+    frieze_threshold,
+    sample_edges_uniform,
+    uniform_sampling_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.generators import random_regular_graph, uniform_random_graph
+from repro.graph import GraphBuilder
+
+
+class TestArithmetic:
+    def test_threshold(self):
+        assert frieze_threshold(8, 0.0) == pytest.approx(1 / 8)
+        assert frieze_threshold(8, 0.6) == pytest.approx(1.6 / 8)
+
+    def test_threshold_capped_at_one(self):
+        assert frieze_threshold(1, 5.0) == 1.0
+
+    def test_claim1_expected_edges(self):
+        # (1 + eps) * n / 2, independent of d.
+        assert expected_sampled_edges(1000, 8, 0.0) == pytest.approx(500.0)
+        assert expected_sampled_edges(1000, 32, 0.5) == pytest.approx(750.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            frieze_threshold(0)
+        with pytest.raises(ConfigurationError):
+            sample_edges_uniform(GraphBuilder(2).add_edge(0, 1).build(), 1.5)
+
+
+class TestSampling:
+    def test_p_zero_and_one(self, two_cliques):
+        assert sample_edges_uniform(two_cliques, 0.0).num_edges == 0
+        assert (
+            sample_edges_uniform(two_cliques, 1.0).num_edges
+            == two_cliques.num_edges
+        )
+
+    def test_expected_count(self):
+        g = random_regular_graph(2000, 8, seed=0)
+        sampled = sample_edges_uniform(g, 0.25, seed=1)
+        assert sampled.num_edges == pytest.approx(0.25 * g.num_edges, rel=0.1)
+
+    def test_deterministic(self, two_cliques):
+        a = sample_edges_uniform(two_cliques, 0.5, seed=3)
+        b = sample_edges_uniform(two_cliques, 0.5, seed=3)
+        assert a.as_pairs() == b.as_pairs()
+
+
+class TestPhaseTransition:
+    """The Frieze et al. result the paper builds on, observed directly."""
+
+    @pytest.fixture(scope="class")
+    def regular(self):
+        return random_regular_graph(4000, 8, seed=0)
+
+    def test_supercritical_giant(self, regular):
+        p = frieze_threshold(8, eps=0.6)
+        fractions = [
+            uniform_sampling_experiment(regular, p, seed=s).largest_component_fraction
+            for s in range(3)
+        ]
+        assert min(fractions) > 0.25  # Θ(n) component
+
+    def test_subcritical_shatter(self, regular):
+        p = frieze_threshold(8, eps=-0.5)  # p = 0.5/d, below threshold
+        fractions = [
+            uniform_sampling_experiment(regular, p, seed=s).largest_component_fraction
+            for s in range(3)
+        ]
+        assert max(fractions) < 0.05  # o(n) components only
+
+    def test_sampled_edges_linear_in_n(self, regular):
+        p = frieze_threshold(8, eps=0.6)
+        outcome = uniform_sampling_experiment(regular, p, seed=0)
+        assert outcome.sampled_edges < 1.2 * expected_sampled_edges(4000, 8, 0.6)
+
+
+class TestDegreeBias:
+    def test_pendant_vertices_missed(self):
+        """Uniform sampling at the O(|V|) budget misses ~(1-p) of the
+        degree-one vertices — the paper's motivation for neighbour
+        sampling."""
+        # Star forest: many pendant vertices.
+        b = GraphBuilder(1001)
+        b.add_star(0, list(range(1, 1001)))
+        g = b.build()
+        miss = degree_one_miss_rate(g, 0.2, seed=0)
+        assert 0.65 < miss < 0.95  # ~0.8 expected
+
+    def test_full_sampling_misses_nothing(self, path_graph):
+        assert degree_one_miss_rate(path_graph, 1.0) == 0.0
+
+    def test_no_pendants(self, cycle_graph):
+        assert degree_one_miss_rate(cycle_graph, 0.1) == 0.0

@@ -1,0 +1,76 @@
+"""Tests for labeling verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (
+    assert_equivalent_labeling,
+    canonical_labels,
+    equivalent_labelings,
+    is_valid_labeling,
+)
+from repro.errors import InvariantViolationError
+
+
+class TestCanonical:
+    def test_renames_to_smallest_member(self):
+        labels = np.array([7, 7, 3, 3, 7])
+        assert canonical_labels(labels).tolist() == [0, 0, 2, 2, 0]
+
+    def test_identity_for_canonical_input(self):
+        labels = np.array([0, 0, 2, 2])
+        assert canonical_labels(labels).tolist() == [0, 0, 2, 2]
+
+    def test_empty(self):
+        assert canonical_labels(np.array([])).shape == (0,)
+
+
+class TestEquivalence:
+    def test_same_partition_different_values(self):
+        a = np.array([5, 5, 9, 9])
+        b = np.array([1, 1, 0, 0])
+        assert equivalent_labelings(a, b)
+
+    def test_different_partition(self):
+        a = np.array([0, 0, 0])
+        b = np.array([0, 0, 2])
+        assert not equivalent_labelings(a, b)
+
+    def test_shape_mismatch(self):
+        assert not equivalent_labelings(np.array([0]), np.array([0, 1]))
+
+    def test_assert_passes(self):
+        assert_equivalent_labeling(np.array([3, 3]), np.array([9, 9]))
+
+    def test_assert_raises_with_context(self):
+        with pytest.raises(InvariantViolationError, match="afforest-vs-sv"):
+            assert_equivalent_labeling(
+                np.array([0, 0]), np.array([0, 1]), context="afforest-vs-sv"
+            )
+
+
+class TestValidity:
+    def test_correct_labeling_valid(self, mixed_graph):
+        from repro.unionfind import sequential_components
+
+        assert is_valid_labeling(mixed_graph, sequential_components(mixed_graph))
+
+    def test_under_merged_invalid(self, path_graph):
+        labels = np.arange(6)  # all singletons despite edges
+        assert not is_valid_labeling(path_graph, labels)
+
+    def test_over_merged_invalid(self, two_cliques):
+        labels = np.zeros(8, dtype=np.int64)  # one label spanning both cliques
+        assert not is_valid_labeling(two_cliques, labels)
+
+    def test_wrong_length_invalid(self, path_graph):
+        assert not is_valid_labeling(path_graph, np.zeros(3, dtype=np.int64))
+
+    def test_empty_graph_valid(self, empty_graph):
+        assert is_valid_labeling(empty_graph, np.array([], dtype=np.int64))
+
+    def test_split_giant_detected(self, cycle_graph):
+        # Edge-consistent labels are impossible to fake on a cycle without
+        # merging everything, so use a labeling violating edge consistency.
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert not is_valid_labeling(cycle_graph, labels)

@@ -1,0 +1,131 @@
+"""Tests for the Shiloach–Vishkin baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import equivalent_labelings, is_valid_labeling
+from repro.baselines import (
+    shiloach_vishkin,
+    shiloach_vishkin_edgelist,
+    sv_simulated,
+)
+from repro.generators import kronecker_graph, uniform_random_graph
+from repro.parallel import SimulatedMachine
+from repro.unionfind import sequential_components
+
+
+class TestVectorizedSV:
+    def test_fixture_graphs(self, mixed_graph):
+        r = shiloach_vishkin(mixed_graph)
+        assert equivalent_labelings(
+            r.labels, sequential_components(mixed_graph)
+        )
+
+    def test_empty(self, empty_graph):
+        r = shiloach_vishkin(empty_graph)
+        assert r.iterations == 0
+
+    def test_isolated(self, isolated_vertices):
+        r = shiloach_vishkin(isolated_vertices)
+        assert r.num_components == 5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, random_graph_factory, seed):
+        g = random_graph_factory(60, 100, seed)
+        r = shiloach_vishkin(g)
+        assert is_valid_labeling(g, r.labels)
+
+    def test_reprocesses_all_edges_each_iteration(self):
+        g = uniform_random_graph(200, edge_factor=4, seed=0)
+        r = shiloach_vishkin(g)
+        assert r.edges_processed == r.iterations * g.num_directed_edges
+        assert r.iterations >= 2  # at least one working + one check pass
+
+    def test_path_converges_quickly(self, path_graph):
+        # Hook + full shortcut converges in O(log n) iterations.
+        r = shiloach_vishkin(path_graph)
+        assert r.iterations <= 5
+
+    def test_depth_tracking(self):
+        g = kronecker_graph(8, edge_factor=8, seed=1)
+        r = shiloach_vishkin(g, track_depth=True)
+        assert r.max_tree_depth >= 1
+        assert len(r.depth_per_iteration) == r.iterations
+
+
+class TestEdgeListSV:
+    def test_matches_csr_variant(self):
+        g = uniform_random_graph(300, edge_factor=4, seed=2)
+        src, dst = g.edge_array()
+        a = shiloach_vishkin(g)
+        b = shiloach_vishkin_edgelist(src, dst, g.num_vertices)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.iterations == b.iterations
+
+    def test_empty(self):
+        r = shiloach_vishkin_edgelist(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0
+        )
+        assert r.num_components == 0
+
+
+class TestSimulatedSV:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_matches_reference(self, workers, mixed_graph):
+        m = SimulatedMachine(workers, schedule="cyclic")
+        r = sv_simulated(mixed_graph, m)
+        assert equivalent_labelings(
+            r.labels, sequential_components(mixed_graph)
+        )
+
+    def test_random_interleavings(self, random_graph_factory):
+        for seed in range(5):
+            g = random_graph_factory(25, 45, seed)
+            m = SimulatedMachine(
+                4, schedule="cyclic", interleave="random", seed=seed
+            )
+            r = sv_simulated(g, m)
+            assert equivalent_labelings(r.labels, sequential_components(g))
+
+    def test_phase_structure(self, two_cliques):
+        m = SimulatedMachine(2)
+        r = sv_simulated(two_cliques, m)
+        labels = [p.label for p in m.stats.phases]
+        assert labels[0] == "I"
+        assert labels[1] == "H1"
+        assert labels[2] == "S1"
+        assert len(labels) == 1 + 2 * r.iterations
+
+    def test_more_work_than_afforest(self):
+        """The headline work-efficiency claim at simulator level."""
+        from repro.core import afforest_simulated
+
+        g = uniform_random_graph(400, edge_factor=8, seed=3)
+        m_sv = SimulatedMachine(4)
+        sv_simulated(g, m_sv)
+        m_af = SimulatedMachine(4)
+        afforest_simulated(g, m_af)
+        assert m_sv.stats.total_work > m_af.stats.total_work
+
+
+class TestShortcutVariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_shortcut_exact(self, random_graph_factory, seed):
+        g = random_graph_factory(50, 90, seed)
+        full = shiloach_vishkin(g)
+        single = shiloach_vishkin(g, shortcut="single")
+        assert equivalent_labelings(full.labels, single.labels)
+
+    def test_single_never_fewer_iterations(self):
+        g = uniform_random_graph(400, edge_factor=6, seed=5)
+        full = shiloach_vishkin(g)
+        single = shiloach_vishkin(g, shortcut="single")
+        assert single.iterations >= full.iterations
+
+    def test_unknown_shortcut_rejected(self, mixed_graph):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            shiloach_vishkin(mixed_graph, shortcut="double")

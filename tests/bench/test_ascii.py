@@ -1,0 +1,87 @@
+"""Tests for the ASCII figure renderings."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii import heatmap, line_plot, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestHeatmap:
+    def test_shape(self):
+        out = heatmap(np.arange(12).reshape(3, 4), legend=False)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 4 for l in lines)
+
+    def test_zero_matrix(self):
+        out = heatmap(np.zeros((2, 2)), legend=False)
+        assert out == "  \n  "
+
+    def test_max_cell_saturates(self):
+        out = heatmap(np.array([[0, 1000]]), legend=False)
+        assert out[-1] == "█"
+
+    def test_legend(self):
+        out = heatmap(np.ones((1, 1)))
+        assert "log scale" in out
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            heatmap(np.arange(3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            heatmap(np.array([[-1.0]]))
+
+    def test_empty(self):
+        assert heatmap(np.empty((0, 0))) == ""
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        out = line_plot(
+            [1, 2, 3],
+            {"alpha": [1, 2, 3], "beta": [3, 2, 1]},
+            width=20,
+            height=6,
+        )
+        assert "A" in out and "B" in out
+        assert "A=alpha" in out
+        assert "x →" in out
+
+    def test_marker_collision_fallback(self):
+        out = line_plot(
+            [0, 1], {"aa": [0, 1], "ab": [1, 0]}, width=10, height=4
+        )
+        assert "A=aa" in out
+        assert "1=ab" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([0, 1], {"s": [1]}, width=10, height=4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([0, 1], {"s": [0, 1]}, width=2, height=2)
+
+    def test_empty(self):
+        assert line_plot([], {}) == ""
+
+    def test_flat_series_handled(self):
+        out = line_plot([0, 1], {"s": [2, 2]}, width=10, height=4)
+        assert "S" in out

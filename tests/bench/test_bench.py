@@ -1,0 +1,73 @@
+"""Tests for the benchmark harness helpers."""
+
+import numpy as np
+
+from repro.bench.datasets import evaluation_suite
+from repro.bench.report import format_series, format_table
+from repro.bench.runner import BenchmarkRecord, median_time, run_algorithm
+from repro.generators import uniform_random_graph
+
+
+class TestMedianTime:
+    def test_returns_quartiles(self):
+        med, p25, p75, samples = median_time(lambda: None, repeats=5)
+        assert p25 <= med <= p75
+        assert len(samples) == 5
+
+    def test_slow_path_fewer_repeats(self):
+        import time
+
+        calls = []
+        med, _, _, samples = median_time(
+            lambda: (calls.append(1), time.sleep(0.01))[0],
+            repeats=16,
+            slow_threshold=0.001,
+            slow_repeats=3,
+        )
+        assert len(samples) == 3
+
+
+class TestRunAlgorithm:
+    def test_record_fields(self):
+        g = uniform_random_graph(100, edge_factor=4, seed=0)
+        rec = run_algorithm(g, "afforest", "urand-test", repeats=3)
+        assert rec.algorithm == "afforest"
+        assert rec.dataset == "urand-test"
+        assert rec.median_seconds > 0
+
+    def test_speedup(self):
+        a = BenchmarkRecord("d", "fast", 1.0, 1.0, 1.0)
+        b = BenchmarkRecord("d", "slow", 4.0, 4.0, 4.0)
+        assert a.speedup_over(b) == 4.0
+
+
+class TestEvaluationSuite:
+    def test_contains_cpu_datasets(self):
+        suite = evaluation_suite("tiny")
+        assert set(suite) == {"road", "osm-eur", "twitter", "web", "kron", "urand"}
+
+    def test_cached(self):
+        a = evaluation_suite("tiny")
+        b = evaluation_suite("tiny")
+        assert a["road"] is b["road"]
+
+
+class TestReport:
+    def test_table_renders_all_rows(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], ["x", 0.000001]])
+        assert "T" in out
+        assert "bb" in out
+        assert "2.5" in out
+        assert "1.000e-06" in out
+
+    def test_series(self):
+        out = format_series(
+            "F", "x", [1, 2], {"alg1": [0.5, 0.25], "alg2": [1.0, 2.0]}
+        )
+        lines = out.splitlines()
+        assert "alg1" in lines[2]
+        assert len(lines) == 6  # title, rule, header, divider, 2 rows
+
+    def test_empty_table(self):
+        out = format_table("E", ["c"], [])
+        assert "c" in out

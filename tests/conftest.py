@@ -1,0 +1,96 @@
+"""Shared fixtures: a zoo of small graphs with known component structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def empty_graph() -> CSRGraph:
+    return from_edge_list([], num_vertices=0)
+
+
+@pytest.fixture
+def single_vertex() -> CSRGraph:
+    return from_edge_list([], num_vertices=1)
+
+
+@pytest.fixture
+def isolated_vertices() -> CSRGraph:
+    """Five vertices, no edges: five singleton components."""
+    return from_edge_list([], num_vertices=5)
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    """0-1-2-3-4-5: one component, diameter 5."""
+    return GraphBuilder(6).add_path([0, 1, 2, 3, 4, 5]).build()
+
+
+@pytest.fixture
+def cycle_graph() -> CSRGraph:
+    """6-cycle: one component."""
+    return GraphBuilder(6).add_cycle([0, 1, 2, 3, 4, 5]).build()
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    """Star with center 0 and 7 leaves."""
+    return GraphBuilder(8).add_star(0, list(range(1, 8))).build()
+
+
+@pytest.fixture
+def two_cliques() -> CSRGraph:
+    """Two 4-cliques: two components of size 4."""
+    return (
+        GraphBuilder(8)
+        .add_clique([0, 1, 2, 3])
+        .add_clique([4, 5, 6, 7])
+        .build()
+    )
+
+
+@pytest.fixture
+def mixed_graph() -> CSRGraph:
+    """Path + triangle + isolated vertex + pair: 4 components in 12 vertices."""
+    return (
+        GraphBuilder(12)
+        .add_path([0, 1, 2, 3])
+        .add_cycle([4, 5, 6])
+        .add_edge(8, 9)
+        .build()
+    )  # vertices 7, 10, 11 isolated -> components: {0-3},{4-6},{8,9},{7},{10},{11}
+
+
+@pytest.fixture
+def mixed_components() -> list[set[int]]:
+    """Ground-truth partition of mixed_graph."""
+    return [{0, 1, 2, 3}, {4, 5, 6}, {8, 9}, {7}, {10}, {11}]
+
+
+@pytest.fixture
+def giant_graph() -> CSRGraph:
+    """One giant clique-chain plus satellites: giant covers 80% of vertices."""
+    b = GraphBuilder(50)
+    b.add_path(list(range(40)))  # giant path component 0..39
+    b.add_edge(40, 41)
+    b.add_edge(42, 43)
+    b.add_cycle([44, 45, 46])
+    return b.build()  # 47,48,49 isolated
+
+
+def random_graph(n: int, m: int, seed: int) -> CSRGraph:
+    """Deterministic random multigraph for tests."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return from_edge_list(list(zip(src.tolist(), dst.tolist())), num_vertices=n)
+
+
+@pytest.fixture
+def random_graph_factory():
+    return random_graph

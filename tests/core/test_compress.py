@@ -1,0 +1,118 @@
+"""Unit tests for the compress primitive (all three forms)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress, compress_all, compress_kernel
+from repro.parallel import SimulatedMachine
+from repro.unionfind import ParentArray
+
+
+def chain(n):
+    """pi = [0, 0, 1, 2, ...]: one tree of depth n-1."""
+    pi = np.arange(n, dtype=VERTEX_DTYPE)
+    pi[1:] = np.arange(n - 1, dtype=VERTEX_DTYPE)
+    return pi
+
+
+class TestScalarCompress:
+    def test_flattens_single_vertex_path(self):
+        pi = chain(5)
+        steps = compress(pi, 4)
+        assert pi[4] == 0
+        assert steps == 3
+
+    def test_noop_on_root(self):
+        pi = np.arange(3, dtype=VERTEX_DTYPE)
+        assert compress(pi, 0) == 0
+
+    def test_noop_on_depth_one(self):
+        pi = np.array([0, 0, 0], dtype=VERTEX_DTYPE)
+        assert compress(pi, 2) == 0
+
+    def test_preserves_connectivity(self):
+        pi = chain(6)
+        before = ParentArray(pi).labels()
+        compress(pi, 5)
+        assert np.array_equal(ParentArray(pi).labels(), before)
+
+    def test_applied_to_all_gives_flat_forest(self):
+        pi = chain(8)
+        for v in range(8):
+            compress(pi, v)
+        assert ParentArray(pi).is_flat()
+
+
+class TestCompressAll:
+    def test_flattens_everything(self):
+        pi = chain(16)
+        passes = compress_all(pi)
+        assert ParentArray(pi).is_flat()
+        assert np.all(pi == 0)
+        # Pointer doubling: log2(15) ~ 4 passes.
+        assert passes <= 5
+
+    def test_idempotent(self):
+        pi = chain(8)
+        compress_all(pi)
+        snapshot = pi.copy()
+        assert compress_all(pi) == 0
+        assert np.array_equal(pi, snapshot)
+
+    def test_multiple_trees(self):
+        pi = np.array([0, 0, 1, 3, 3, 4], dtype=VERTEX_DTYPE)
+        compress_all(pi)
+        assert pi.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_empty(self):
+        pi = np.empty(0, dtype=VERTEX_DTYPE)
+        assert compress_all(pi) == 0
+
+    def test_preserves_labels(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = 20
+            # Random valid downward-pointing forest.
+            pi = np.array(
+                [int(rng.integers(0, v + 1)) for v in range(n)],
+                dtype=VERTEX_DTYPE,
+            )
+            before = ParentArray(pi).labels()
+            compress_all(pi)
+            assert np.array_equal(ParentArray(pi).labels(), before)
+            assert ParentArray(pi).is_flat()
+
+
+class TestCompressKernel:
+    @pytest.mark.parametrize("interleave", ["roundrobin", "random", "sequential"])
+    def test_concurrent_compress_flattens(self, interleave):
+        pi = chain(12)
+        before = ParentArray(pi).labels()
+        m = SimulatedMachine(4, schedule="cyclic", interleave=interleave, seed=1)
+        m.parallel_for(12, compress_kernel, pi)
+        assert ParentArray(pi).is_flat()
+        assert np.array_equal(ParentArray(pi).labels(), before)
+
+    def test_concurrent_compress_random_forests(self):
+        rng = np.random.default_rng(3)
+        for seed in range(8):
+            n = 24
+            pi = np.array(
+                [int(rng.integers(0, v + 1)) for v in range(n)],
+                dtype=VERTEX_DTYPE,
+            )
+            before = ParentArray(pi).labels()
+            m = SimulatedMachine(
+                5, schedule="cyclic", interleave="random", seed=seed
+            )
+            m.parallel_for(n, compress_kernel, pi)
+            assert ParentArray(pi).is_flat()
+            assert np.array_equal(ParentArray(pi).labels(), before)
+
+    def test_counts_reads_and_writes(self):
+        pi = chain(4)
+        m = SimulatedMachine(1)
+        ph = m.parallel_for(4, compress_kernel, pi)
+        assert ph.reads > 0
+        assert ph.writes > 0

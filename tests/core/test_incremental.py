@@ -1,0 +1,150 @@
+"""Tests for incremental connectivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import equivalent_labelings
+from repro.core.incremental import IncrementalConnectivity
+from repro.errors import ConfigurationError
+from repro.generators import uniform_random_graph
+from repro.unionfind import SequentialUnionFind, sequential_components
+
+
+class TestBasics:
+    def test_initial_state(self):
+        inc = IncrementalConnectivity(5)
+        assert inc.num_components == 5
+        assert not inc.connected(0, 4)
+
+    def test_add_edge_merges(self):
+        inc = IncrementalConnectivity(4)
+        assert inc.add_edge(0, 3)
+        assert inc.connected(0, 3)
+        assert inc.num_components == 3
+
+    def test_duplicate_edge_no_merge(self):
+        inc = IncrementalConnectivity(4)
+        inc.add_edge(0, 1)
+        assert not inc.add_edge(1, 0)
+        assert inc.num_components == 3
+
+    def test_self_loop_no_merge(self):
+        inc = IncrementalConnectivity(3)
+        assert not inc.add_edge(1, 1)
+        assert inc.num_components == 3
+
+    def test_transitivity(self):
+        inc = IncrementalConnectivity(6)
+        inc.add_edge(0, 1)
+        inc.add_edge(2, 3)
+        assert not inc.connected(0, 3)
+        inc.add_edge(1, 2)
+        assert inc.connected(0, 3)
+
+    def test_find_compresses(self):
+        inc = IncrementalConnectivity(8, compress_every=0)
+        for i in range(7):
+            inc.add_edge(i, i + 1)
+        root = inc.find(7)
+        assert root == inc.find(0)
+        # After find, 7 points directly at the root.
+        assert inc._pi[7] == root
+
+    def test_labels_partition(self):
+        inc = IncrementalConnectivity(6)
+        inc.add_edge(0, 1)
+        inc.add_edge(3, 4)
+        labels = inc.labels()
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[2] != labels[0]
+
+    def test_component_of(self):
+        inc = IncrementalConnectivity(5)
+        inc.add_edge(1, 3)
+        assert inc.component_of(1).tolist() == [1, 3]
+
+    def test_bounds_checked(self):
+        inc = IncrementalConnectivity(3)
+        with pytest.raises(ConfigurationError):
+            inc.add_edge(0, 3)
+        with pytest.raises(ConfigurationError):
+            inc.find(-1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalConnectivity(-1)
+        with pytest.raises(ConfigurationError):
+            IncrementalConnectivity(4, compress_every=-1)
+
+
+class TestBulk:
+    def test_add_edges_counts_merges(self):
+        inc = IncrementalConnectivity(6)
+        merged = inc.add_edges(np.array([0, 2, 0]), np.array([1, 3, 1]))
+        assert merged == 2
+        assert inc.num_components == 4
+
+    def test_from_graph(self):
+        g = uniform_random_graph(300, edge_factor=4, seed=0)
+        inc = IncrementalConnectivity.from_graph(g)
+        assert equivalent_labelings(inc.labels(), sequential_components(g))
+
+    def test_mixed_bulk_and_single(self):
+        inc = IncrementalConnectivity(10)
+        inc.add_edges(np.array([0, 1]), np.array([1, 2]))
+        inc.add_edge(2, 3)
+        inc.add_edges(np.array([5]), np.array([6]))
+        assert inc.connected(0, 3)
+        assert not inc.connected(0, 5)
+        # Four merges total: {0,1},{1,2} bulk, {2,3} single, {5,6} bulk.
+        assert inc.num_components == 10 - 4
+
+    def test_rejects_mismatched_arrays(self):
+        inc = IncrementalConnectivity(4)
+        with pytest.raises(ConfigurationError):
+            inc.add_edges(np.array([0]), np.array([1, 2]))
+
+    def test_rejects_out_of_range_bulk(self):
+        inc = IncrementalConnectivity(4)
+        with pytest.raises(ConfigurationError):
+            inc.add_edges(np.array([0]), np.array([9]))
+
+
+class TestCompression:
+    def test_periodic_compression_bounds_depth(self):
+        inc = IncrementalConnectivity(100, compress_every=10)
+        for i in range(99):
+            inc.add_edge(i, i + 1)
+        from repro.unionfind import ParentArray
+
+        assert ParentArray(inc._pi).max_depth() <= 12
+
+    def test_compress_every_zero_still_correct(self):
+        inc = IncrementalConnectivity(50, compress_every=0)
+        for i in range(49):
+            inc.add_edge(i, i + 1)
+        assert inc.num_components == 1
+
+
+class TestAgainstOracle:
+    @given(
+        st.integers(2, 25),
+        st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=60),
+        st.sampled_from([0, 1, 7]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_matches_union_find(self, n, edges, compress_every):
+        edges = [(u % n, v % n) for u, v in edges]
+        inc = IncrementalConnectivity(n, compress_every=compress_every)
+        uf = SequentialUnionFind(n)
+        for u, v in edges:
+            merged_inc = inc.add_edge(u, v)
+            merged_uf = uf.union(u, v)
+            assert merged_inc == merged_uf
+            assert inc.num_components == uf.num_sets
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert inc.connected(u, v) == uf.connected(u, v)

@@ -1,0 +1,181 @@
+"""Unit tests for the link primitive (all three forms)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.link import LinkCounters, link, link_batch, link_kernel
+from repro.errors import ConvergenceError
+from repro.parallel import SimulatedMachine
+from repro.unionfind import ParentArray
+
+
+def fresh(n):
+    return np.arange(n, dtype=VERTEX_DTYPE)
+
+
+def same_tree(pi, u, v):
+    return ParentArray(pi).find_root(u) == ParentArray(pi).find_root(v)
+
+
+class TestScalarLink:
+    def test_merges_singletons(self):
+        pi = fresh(4)
+        assert link(pi, 1, 3)
+        assert same_tree(pi, 1, 3)
+        assert ParentArray(pi).holds_invariant1()
+
+    def test_idempotent(self):
+        pi = fresh(4)
+        link(pi, 1, 3)
+        assert not link(pi, 1, 3)  # already same tree
+        assert not link(pi, 3, 1)
+
+    def test_hooks_higher_under_lower(self):
+        pi = fresh(5)
+        link(pi, 2, 4)
+        assert pi[4] == 2
+
+    def test_merges_deep_chains(self):
+        # Two chains: 0<-1<-2 and 3<-4<-5 (pi[x] points down-index).
+        pi = np.array([0, 0, 1, 3, 3, 4], dtype=VERTEX_DTYPE)
+        link(pi, 2, 5)
+        assert same_tree(pi, 0, 3)
+        assert ParentArray(pi).holds_invariant1()
+        assert not ParentArray(pi).has_cycle()
+
+    def test_self_edge_is_noop(self):
+        pi = fresh(3)
+        assert not link(pi, 1, 1)
+        assert pi.tolist() == [0, 1, 2]
+
+    def test_counters(self):
+        pi = fresh(4)
+        c = LinkCounters()
+        link(pi, 0, 1, c)
+        link(pi, 0, 1, c)  # no-op edge: still one local iteration
+        assert c.edges_processed == 2
+        assert c.hooks == 1
+        assert c.mean_iterations >= 1.0
+        assert sum(c.iterations_histogram.values()) == 2
+
+    def test_detects_corruption(self):
+        # A 3-cycle in pi: the climb loop revisits the same states forever,
+        # so the safety cap must fire instead of hanging.
+        pi = np.array([1, 2, 0], dtype=VERTEX_DTYPE)
+        with pytest.raises(ConvergenceError):
+            link(pi, 0, 1)
+
+    def test_transitive_merging(self):
+        pi = fresh(6)
+        link(pi, 0, 1)
+        link(pi, 2, 3)
+        link(pi, 1, 2)
+        for v in range(4):
+            assert same_tree(pi, 0, v)
+        assert not same_tree(pi, 0, 4)
+
+
+class TestBatchLink:
+    def test_matches_scalar_result(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(2, 40))
+            m = int(rng.integers(0, 80))
+            src = rng.integers(0, n, size=m).astype(VERTEX_DTYPE)
+            dst = rng.integers(0, n, size=m).astype(VERTEX_DTYPE)
+            pi_batch = fresh(n)
+            link_batch(pi_batch, src, dst)
+            pi_scalar = fresh(n)
+            for u, v in zip(src.tolist(), dst.tolist()):
+                link(pi_scalar, u, v)
+            assert np.array_equal(
+                ParentArray(pi_batch).labels(),
+                ParentArray(pi_scalar).labels(),
+            )
+
+    def test_empty_batch(self):
+        pi = fresh(5)
+        assert link_batch(pi, np.empty(0, dtype=VERTEX_DTYPE),
+                          np.empty(0, dtype=VERTEX_DTYPE)) == 0
+        assert pi.tolist() == [0, 1, 2, 3, 4]
+
+    def test_preserves_invariant1(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            n = 30
+            src = rng.integers(0, n, size=60).astype(VERTEX_DTYPE)
+            dst = rng.integers(0, n, size=60).astype(VERTEX_DTYPE)
+            pi = fresh(n)
+            link_batch(pi, src, dst)
+            p = ParentArray(pi)
+            assert p.holds_invariant1()
+            assert not p.has_cycle()
+
+    def test_conflicting_hooks_resolve_to_min(self):
+        # Edges (0,9) and (1,9): both want to hook 9; min label wins first,
+        # the loser re-links and all three end in one tree.
+        pi = fresh(10)
+        link_batch(
+            pi,
+            np.array([0, 1], dtype=VERTEX_DTYPE),
+            np.array([9, 9], dtype=VERTEX_DTYPE),
+        )
+        labels = ParentArray(pi).labels()
+        assert labels[0] == labels[1] == labels[9] == 0
+
+    def test_returns_round_count(self):
+        pi = fresh(4)
+        rounds = link_batch(
+            pi, np.array([0], dtype=VERTEX_DTYPE), np.array([1], dtype=VERTEX_DTYPE)
+        )
+        assert rounds >= 1
+
+
+class TestLinkKernel:
+    def run_machine(self, n, edges, workers=3, interleave="roundrobin", seed=0):
+        pi = fresh(n)
+        src = np.asarray([e[0] for e in edges], dtype=VERTEX_DTYPE)
+        dst = np.asarray([e[1] for e in edges], dtype=VERTEX_DTYPE)
+        m = SimulatedMachine(workers, schedule="cyclic", interleave=interleave, seed=seed)
+        m.parallel_for(len(edges), link_kernel, pi, src, dst)
+        return pi
+
+    def test_concurrent_links_converge(self):
+        edges = [(0, 1), (1, 2), (2, 3), (4, 5), (3, 4)]
+        pi = self.run_machine(6, edges)
+        labels = ParentArray(pi).labels()
+        assert len(set(labels.tolist())) == 1
+
+    def test_concurrent_equivalent_to_scalar(self):
+        rng = np.random.default_rng(2)
+        for seed in range(10):
+            n = 25
+            edges = [
+                (int(rng.integers(0, n)), int(rng.integers(0, n)))
+                for _ in range(40)
+            ]
+            pi_con = self.run_machine(n, edges, workers=5,
+                                      interleave="random", seed=seed)
+            pi_seq = fresh(n)
+            for u, v in edges:
+                link(pi_seq, u, v)
+            assert np.array_equal(
+                ParentArray(pi_con).labels(), ParentArray(pi_seq).labels()
+            )
+            assert ParentArray(pi_con).holds_invariant1()
+            assert not ParentArray(pi_con).has_cycle()
+
+    def test_contention_produces_cas_failures(self):
+        # A star of edges all hooking the same high vertex from different
+        # low roots: workers race on the root's CAS.
+        n = 32
+        edges = [(i, n - 1) for i in range(8)]
+        pi = fresh(n)
+        src = np.asarray([e[0] for e in edges], dtype=VERTEX_DTYPE)
+        dst = np.asarray([e[1] for e in edges], dtype=VERTEX_DTYPE)
+        m = SimulatedMachine(8, schedule="cyclic")
+        ph = m.parallel_for(len(edges), link_kernel, pi, src, dst)
+        labels = ParentArray(pi).labels()
+        assert len({int(labels[i]) for i in list(range(8)) + [n - 1]}) == 1
+        assert ph.cas_attempts >= 1

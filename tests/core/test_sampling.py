@@ -1,0 +1,66 @@
+"""Unit tests for giant-component sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    approximate_largest_label,
+    exact_largest_label,
+    most_frequent_element,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMostFrequent:
+    def test_dominant_value_found(self):
+        values = np.array([7] * 90 + [3] * 10)
+        rng = np.random.default_rng(0)
+        assert most_frequent_element(values, 64, rng=rng) == 7
+
+    def test_unanimous(self):
+        assert most_frequent_element(np.full(50, 4), 16) == 4
+
+    def test_sample_larger_than_array(self):
+        values = np.array([1, 1, 1, 2])
+        assert most_frequent_element(values, 1000) == 1
+
+    def test_deterministic_with_rng(self):
+        values = np.arange(100)
+        a = most_frequent_element(values, 10, rng=np.random.default_rng(5))
+        b = most_frequent_element(values, 10, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            most_frequent_element(np.array([]), 4)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ConfigurationError):
+            most_frequent_element(np.array([1]), 0)
+
+
+class TestLargestLabel:
+    def test_compressed_pi_giant_found(self):
+        # Giant component labelled 0 covering 80%.
+        pi = np.zeros(1000, dtype=np.int64)
+        pi[800:] = np.arange(800, 1000)
+        assert approximate_largest_label(pi, 256, rng=np.random.default_rng(1)) == 0
+
+    def test_exact_scan(self):
+        pi = np.array([0, 0, 0, 3, 3, 5])
+        assert exact_largest_label(pi) == 0
+
+    def test_exact_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            exact_largest_label(np.array([], dtype=np.int64))
+
+    def test_probabilistic_matches_exact_on_giants(self):
+        rng = np.random.default_rng(2)
+        for frac in (0.5, 0.7, 0.9):
+            n = 2000
+            pi = np.arange(n, dtype=np.int64)
+            giant = rng.choice(n, size=int(frac * n), replace=False)
+            pi[giant] = 42  # depth-1 tree rooted at 42 (plus 42 itself)
+            pi[42] = 42
+            approx = approximate_largest_label(pi, 512, rng=rng)
+            assert approx == exact_largest_label(pi) == 42

@@ -1,0 +1,125 @@
+"""Unit tests for subgraph partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.link import link_batch
+from repro.core.strategies import (
+    STRATEGIES,
+    neighbor_sampling,
+    optimal_sampling,
+    row_sampling,
+    uniform_edge_sampling,
+)
+from repro.errors import ConfigurationError
+from repro.graph.properties import component_census
+from repro.unionfind import ParentArray, sequential_components
+from repro.analysis.verify import equivalent_labelings
+
+
+def batch_edge_multiset(batches, n):
+    keys = []
+    for b in batches:
+        keys.extend((b.src * np.int64(max(n, 1)) + b.dst).tolist())
+    return sorted(keys)
+
+
+def graph_edge_multiset(graph):
+    src, dst = graph.edge_array()
+    return sorted((src * np.int64(max(graph.num_vertices, 1)) + dst).tolist())
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+class TestCommonContract:
+    def test_covers_every_directed_edge_once(self, name, mixed_graph):
+        batches = STRATEGIES[name](mixed_graph)
+        assert batch_edge_multiset(batches, mixed_graph.num_vertices) == \
+            graph_edge_multiset(mixed_graph)
+
+    def test_replay_produces_correct_components(self, name, mixed_graph):
+        batches = STRATEGIES[name](mixed_graph)
+        pi = np.arange(mixed_graph.num_vertices, dtype=VERTEX_DTYPE)
+        for b in batches:
+            link_batch(pi, b.src, b.dst)
+        assert equivalent_labelings(
+            ParentArray(pi).labels(), sequential_components(mixed_graph)
+        )
+
+    def test_random_graphs_covered(self, name, random_graph_factory):
+        g = random_graph_factory(30, 60, seed=11)
+        batches = STRATEGIES[name](g)
+        assert batch_edge_multiset(batches, g.num_vertices) == \
+            graph_edge_multiset(g)
+
+
+class TestRowSampling:
+    def test_batch_count(self, mixed_graph):
+        assert len(row_sampling(mixed_graph, 4)) == 4
+
+    def test_rejects_zero_batches(self, mixed_graph):
+        with pytest.raises(ConfigurationError):
+            row_sampling(mixed_graph, 0)
+
+    def test_batches_respect_row_ranges(self, two_cliques):
+        batches = row_sampling(two_cliques, 2)
+        # First half of rows only contains vertices 0..3 as sources.
+        assert batches[0].src.max() <= 3
+        assert batches[1].src.min() >= 4
+
+
+class TestUniformSampling:
+    def test_batch_sizes_balanced(self, two_cliques):
+        batches = uniform_edge_sampling(two_cliques, 4, seed=0)
+        sizes = [b.num_edges for b in batches]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self, two_cliques):
+        a = uniform_edge_sampling(two_cliques, 3, seed=5)
+        b = uniform_edge_sampling(two_cliques, 3, seed=5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.src, y.src)
+
+
+class TestNeighborSampling:
+    def test_round_structure(self, star_graph):
+        batches = neighbor_sampling(star_graph, rounds=2)
+        assert len(batches) == 3
+        # Round 0 contains every non-isolated vertex once.
+        assert batches[0].num_edges == 8
+        # Round 1 only the center has a second neighbour.
+        assert batches[1].num_edges == 1
+        assert batches[1].src.tolist() == [0]
+
+    def test_degree_one_edges_in_round_zero(self, path_graph):
+        batches = neighbor_sampling(path_graph, rounds=1)
+        assert 0 in batches[0].src.tolist()
+        assert 5 in batches[0].src.tolist()
+
+    def test_zero_rounds_everything_in_remainder(self, mixed_graph):
+        batches = neighbor_sampling(mixed_graph, rounds=0)
+        assert len(batches) == 1
+        assert batches[0].num_edges == mixed_graph.num_directed_edges
+
+    def test_rejects_negative_rounds(self, mixed_graph):
+        with pytest.raises(ConfigurationError):
+            neighbor_sampling(mixed_graph, rounds=-1)
+
+    def test_many_rounds_empty_remainder(self, path_graph):
+        batches = neighbor_sampling(path_graph, rounds=10)
+        assert batches[-1].num_edges == 0
+
+
+class TestOptimalSampling:
+    def test_first_batch_is_spanning_forest_sized(self, mixed_graph):
+        census = component_census(mixed_graph)
+        batches = optimal_sampling(mixed_graph)
+        sf_directed = 2 * (mixed_graph.num_vertices - census.num_components)
+        assert batches[0].num_edges == sf_directed
+
+    def test_first_batch_fully_links(self, two_cliques):
+        batches = optimal_sampling(two_cliques)
+        pi = np.arange(8, dtype=VERTEX_DTYPE)
+        link_batch(pi, batches[0].src, batches[0].dst)
+        labels = ParentArray(pi).labels()
+        assert len(set(labels.tolist())) == 2

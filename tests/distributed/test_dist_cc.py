@@ -1,0 +1,134 @@
+"""Tests for distributed connected components."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import equivalent_labelings, is_valid_labeling
+from repro.constants import VERTEX_DTYPE
+from repro.distributed import (
+    SimulatedComm,
+    distributed_components,
+    partition_edges_block,
+    partition_edges_hash,
+)
+from repro.distributed.dist_cc import merge_forest
+from repro.errors import ConfigurationError
+from repro.generators import kronecker_graph, uniform_random_graph
+from repro.unionfind import ParentArray, sequential_components
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner", [partition_edges_block, partition_edges_hash])
+    def test_covers_each_edge_once(self, partitioner, mixed_graph):
+        parts = partitioner(mixed_graph, 3)
+        total = sum(src.shape[0] for src, _ in parts)
+        assert total == mixed_graph.num_edges
+        assert len(parts) == 3
+
+    def test_block_is_contiguous(self, two_cliques):
+        parts = partition_edges_block(two_cliques, 2)
+        src0, _ = parts[0]
+        src1, _ = parts[1]
+        assert src0.shape[0] + src1.shape[0] == two_cliques.num_edges
+
+    def test_hash_deterministic(self, two_cliques):
+        a = partition_edges_hash(two_cliques, 4, seed=1)
+        b = partition_edges_hash(two_cliques, 4, seed=1)
+        for (s1, d1), (s2, d2) in zip(a, b):
+            assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+
+    def test_rejects_zero_ranks(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            partition_edges_block(two_cliques, 0)
+
+
+class TestMergeForest:
+    def test_merges_connectivity(self):
+        # Forest A: {0,1} linked; forest B: {1,2} linked.
+        a = np.array([0, 0, 2, 3], dtype=VERTEX_DTYPE)
+        b = np.array([0, 1, 1, 3], dtype=VERTEX_DTYPE)
+        merge_forest(a, b)
+        labels = ParentArray(a).labels()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+
+    def test_merge_is_commutative_on_partition(self):
+        rng = np.random.default_rng(0)
+        n = 20
+        a = np.array([int(rng.integers(0, v + 1)) for v in range(n)], dtype=VERTEX_DTYPE)
+        b = np.array([int(rng.integers(0, v + 1)) for v in range(n)], dtype=VERTEX_DTYPE)
+        x, y = a.copy(), b.copy()
+        merge_forest(x, b)
+        merge_forest(y, a)
+        assert np.array_equal(ParentArray(x).labels(), ParentArray(y).labels())
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            merge_forest(np.zeros(3, dtype=VERTEX_DTYPE), np.zeros(4, dtype=VERTEX_DTYPE))
+
+
+class TestDistributedCC:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 7, 8])
+    def test_exact_on_mixed(self, ranks, mixed_graph):
+        result = distributed_components(mixed_graph, ranks)
+        assert equivalent_labelings(
+            result.labels, sequential_components(mixed_graph)
+        )
+
+    @pytest.mark.parametrize("partitioner", [partition_edges_block, partition_edges_hash])
+    def test_exact_both_partitioners(self, partitioner):
+        g = kronecker_graph(9, edge_factor=8, seed=0)
+        result = distributed_components(g, 4, partitioner=partitioner)
+        assert is_valid_labeling(g, result.labels)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, random_graph_factory, seed):
+        g = random_graph_factory(40, 80, seed)
+        result = distributed_components(g, 5)
+        assert is_valid_labeling(g, result.labels)
+
+    def test_empty_graph(self, empty_graph):
+        result = distributed_components(empty_graph, 2)
+        assert result.labels.shape == (0,)
+
+    def test_single_rank_no_communication_before_broadcast(self, two_cliques):
+        result = distributed_components(two_cliques, 1)
+        assert result.comm_stats.messages == 0
+        assert result.merge_rounds == 0
+
+    def test_merge_rounds_logarithmic(self, two_cliques):
+        assert distributed_components(two_cliques, 8).merge_rounds == 3
+        assert distributed_components(two_cliques, 5).merge_rounds == 3
+        assert distributed_components(two_cliques, 2).merge_rounds == 1
+
+    def test_traffic_independent_of_edges(self):
+        """The headline property: communication is O(|V| log R), not O(|E|)."""
+        sparse = uniform_random_graph(512, edge_factor=2, seed=0)
+        dense = uniform_random_graph(512, edge_factor=32, seed=0)
+        t_sparse = distributed_components(sparse, 4).comm_stats.bytes_sent
+        t_dense = distributed_components(dense, 4).comm_stats.bytes_sent
+        assert t_sparse == t_dense
+
+    def test_traffic_formula(self):
+        g = uniform_random_graph(256, edge_factor=4, seed=1)
+        result = distributed_components(g, 4)
+        n = g.num_vertices
+        # Reduction: 3 sends of 8n bytes; broadcast: 3 sends of 8n bytes.
+        assert result.comm_stats.bytes_sent == 8 * n * 3 + 8 * n * 3
+
+    def test_external_comm_accumulates(self):
+        g = uniform_random_graph(128, edge_factor=4, seed=2)
+        comm = SimulatedComm(2)
+        distributed_components(g, 2, comm=comm)
+        first = comm.stats.bytes_sent
+        distributed_components(g, 2, comm=comm)
+        assert comm.stats.bytes_sent == 2 * first
+
+    def test_rank_mismatch_rejected(self, two_cliques):
+        with pytest.raises(ConfigurationError, match="ranks"):
+            distributed_components(two_cliques, 3, comm=SimulatedComm(2))
+
+    def test_local_edges_recorded(self):
+        g = uniform_random_graph(200, edge_factor=4, seed=3)
+        result = distributed_components(g, 4)
+        assert sum(result.local_edges_per_rank) == g.num_edges

@@ -1,0 +1,93 @@
+"""Tests for the Table III dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators.datasets import (
+    CPU_SUITE,
+    DATASETS,
+    GPU_SUITE,
+    SIZE_TIERS,
+    load_dataset,
+)
+from repro.graph.properties import component_census, pseudo_diameter
+
+
+def test_registry_names():
+    assert set(CPU_SUITE) <= set(DATASETS)
+    assert set(GPU_SUITE) <= set(DATASETS)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigurationError, match="unknown dataset"):
+        load_dataset("enron")
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(ConfigurationError, match="size tier"):
+        load_dataset("road", "enormous")
+
+
+def test_deterministic():
+    assert load_dataset("kron", "tiny", seed=9) == load_dataset(
+        "kron", "tiny", seed=9
+    )
+
+
+def test_size_tiers_scale():
+    tiny = load_dataset("urand", "tiny")
+    small = load_dataset("urand", "small")
+    assert small.num_vertices == 8 * tiny.num_vertices  # 2**13 vs 2**10
+
+
+@pytest.mark.parametrize("name", CPU_SUITE)
+def test_all_datasets_generate(name):
+    g = load_dataset(name, "tiny")
+    assert g.num_vertices > 0
+    assert g.num_edges > 0
+
+
+class TestTopologyClasses:
+    """Each proxy must reproduce its paper counterpart's key structure."""
+
+    def test_road_high_diameter_low_degree(self):
+        g = load_dataset("road", "small")
+        deg = np.asarray(g.degree())
+        assert deg.mean() < 5
+        assert pseudo_diameter(g) > 30
+
+    def test_osm_eur_sparser_than_road(self):
+        road = load_dataset("road", "small")
+        osm = load_dataset("osm-eur", "small")
+        assert (
+            np.asarray(osm.degree()).mean()
+            < np.asarray(road.degree()).mean()
+        )
+
+    def test_twitter_power_law_giant(self):
+        g = load_dataset("twitter", "small")
+        deg = np.asarray(g.degree())
+        census = component_census(g)
+        assert deg.max() > 20 * deg.mean()
+        assert census.largest_fraction > 0.9
+
+    def test_web_local_and_heavy(self):
+        g = load_dataset("web", "small")
+        deg = np.asarray(g.degree())
+        assert deg.max() > 5 * deg.mean()
+
+    def test_kron_many_isolated_components(self):
+        g = load_dataset("kron", "small")
+        census = component_census(g)
+        assert census.num_components > 100
+        assert census.largest_fraction > 0.5
+
+    def test_urand_single_giant(self):
+        g = load_dataset("urand", "small")
+        assert component_census(g).num_components == 1
+
+    def test_gpu_variants_smaller(self):
+        kron = load_dataset("kron", "small")
+        kron_gpu = load_dataset("kron-gpu", "small")
+        assert kron_gpu.num_vertices < kron.num_vertices

@@ -1,0 +1,89 @@
+"""Tests for NetworkX interoperability (and the third oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import equivalent_labelings
+from repro.errors import GraphFormatError
+from repro.graph.interop import components_as_sets, from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_basic_conversion(self):
+        g = nx.Graph([(0, 1), (1, 2), (5, 6)])
+        csr, mapping = from_networkx(g)
+        assert csr.num_vertices == g.number_of_nodes()
+        assert csr.num_edges == 3
+        assert set(mapping) == set(g.nodes())
+
+    def test_arbitrary_node_objects(self):
+        g = nx.Graph([("alice", "bob"), ("carol", "dave"), ("bob", "carol")])
+        g.add_node("eve")  # isolated
+        csr, mapping = from_networkx(g)
+        labels = repro.connected_components(csr)
+        by_node = {mapping[v]: int(labels[v]) for v in range(len(mapping))}
+        assert by_node["alice"] == by_node["dave"]
+        assert by_node["eve"] != by_node["alice"]
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphFormatError, match="directed"):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_empty(self):
+        csr, mapping = from_networkx(nx.Graph())
+        assert csr.num_vertices == 0
+        assert mapping == []
+
+
+class TestToNetworkx:
+    def test_roundtrip(self, mixed_graph):
+        nx_graph = to_networkx(mixed_graph)
+        assert nx_graph.number_of_nodes() == mixed_graph.num_vertices
+        assert nx_graph.number_of_edges() == mixed_graph.num_edges
+        back, _ = from_networkx(nx_graph)
+        assert back == mixed_graph
+
+    def test_isolated_preserved(self, isolated_vertices):
+        nx_graph = to_networkx(isolated_vertices)
+        assert nx_graph.number_of_nodes() == 5
+
+
+class TestNetworkxOracle:
+    """NetworkX connected_components as a third independent oracle."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, random_graph_factory, seed):
+        g = random_graph_factory(60, 100, seed)
+        nx_graph = to_networkx(g)
+        nx_labels = np.empty(g.num_vertices, dtype=np.int64)
+        for i, comp in enumerate(nx.connected_components(nx_graph)):
+            for v in comp:
+                nx_labels[v] = i
+        assert equivalent_labelings(
+            repro.connected_components(g), nx_labels
+        )
+
+    def test_component_sets_match_networkx(self, mixed_graph):
+        labels = repro.connected_components(mixed_graph)
+        ours = components_as_sets(labels)
+        theirs = sorted(
+            nx.connected_components(to_networkx(mixed_graph)),
+            key=len,
+            reverse=True,
+        )
+        assert sorted(map(frozenset, ours)) == sorted(map(frozenset, theirs))
+
+
+class TestComponentsAsSets:
+    def test_with_mapping(self):
+        labels = np.array([0, 0, 2])
+        sets = components_as_sets(labels, mapping=["a", "b", "c"])
+        assert {"a", "b"} in sets
+        assert {"c"} in sets
+
+    def test_sorted_by_size(self):
+        labels = np.array([5, 1, 1, 1, 5])
+        sets = components_as_sets(labels)
+        assert len(sets[0]) == 3

@@ -1,0 +1,140 @@
+"""Round-trip and error tests for graph I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import from_edge_list
+from repro.graph.io import (
+    load_graph,
+    load_npz,
+    read_edge_list,
+    read_metis,
+    save_graph,
+    save_npz,
+    write_edge_list,
+    write_metis,
+)
+
+
+@pytest.fixture
+def sample(two_cliques):
+    # .el files cannot express trailing isolated vertices, so round-trip
+    # samples use a graph whose highest id appears in an edge.
+    return two_cliques
+
+
+class TestEdgeListFormat:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.el"
+        write_edge_list(sample, path)
+        assert read_edge_list(path) == sample
+
+    def test_roundtrip_via_stream(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == sample
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n% other comment\n0 1\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 2
+
+    def test_extra_columns_ignored(self):
+        g = read_edge_list(io.StringIO("0 1 3.5\n1 2 7\n"))
+        assert g.num_edges == 2
+
+    def test_rejects_single_column(self):
+        with pytest.raises(GraphFormatError, match="two columns"):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(io.StringIO("a b\n"))
+
+
+class TestMetisFormat:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.graph"
+        write_metis(sample, path)
+        assert read_metis(path) == sample
+
+    def test_roundtrip_with_isolated_vertices(self, tmp_path, mixed_graph):
+        # METIS rows preserve isolated vertices, unlike edge lists.
+        path = tmp_path / "m.graph"
+        write_metis(mixed_graph, path)
+        assert read_metis(path) == mixed_graph
+
+    def test_header_edge_count_checked(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="declares 5 edges"):
+            read_metis(path)
+
+    def test_header_vertex_count_checked(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="3 vertices"):
+            read_metis(path)
+
+    def test_rejects_weighted(self, tmp_path):
+        path = tmp_path / "w.graph"
+        path.write_text("2 1 11\n2 5\n1 5\n")
+        with pytest.raises(GraphFormatError, match="weighted"):
+            read_metis(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="no header"):
+            read_metis(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% hello\n2 1\n2\n1\n")
+        g = read_metis(path)
+        assert g.num_edges == 1
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        assert load_npz(path) == sample
+
+    def test_roundtrip_with_isolated_vertices(self, tmp_path, mixed_graph):
+        path = tmp_path / "m.npz"
+        save_npz(mixed_graph, path)
+        assert load_npz(path) == mixed_graph
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError, match="missing"):
+            load_npz(path)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("ext", [".el", ".txt", ".graph", ".npz"])
+    def test_roundtrip_by_extension(self, tmp_path, sample, ext):
+        path = tmp_path / f"g{ext}"
+        save_graph(sample, path)
+        assert load_graph(path) == sample
+
+    def test_unknown_extension_load(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="extension"):
+            load_graph(tmp_path / "g.xyz")
+
+    def test_unknown_extension_save(self, tmp_path, sample):
+        with pytest.raises(GraphFormatError, match="extension"):
+            save_graph(sample, tmp_path / "g.xyz")
+
+
+def test_empty_graph_roundtrips(tmp_path):
+    g = from_edge_list([], num_vertices=0)
+    path = tmp_path / "empty.npz"
+    save_npz(g, path)
+    assert load_npz(path) == g

@@ -1,0 +1,123 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edge_list
+from repro.graph.properties import (
+    bfs_levels,
+    component_census,
+    degree_statistics,
+    exact_diameter,
+    pseudo_diameter,
+    scipy_components,
+    summarize,
+)
+
+
+class TestDegreeStatistics:
+    def test_star(self, star_graph):
+        s = degree_statistics(star_graph)
+        assert s.min == 1
+        assert s.max == 7
+        assert s.num_isolated == 0
+        assert s.mean == pytest.approx(14 / 8)
+
+    def test_with_isolated(self, mixed_graph):
+        s = degree_statistics(mixed_graph)
+        assert s.num_isolated == 3  # vertices 7, 10, 11
+
+    def test_empty(self, empty_graph):
+        s = degree_statistics(empty_graph)
+        assert s.min == s.max == 0
+        assert s.mean == 0.0
+
+
+class TestComponentCensus:
+    def test_mixed(self, mixed_graph):
+        c = component_census(mixed_graph)
+        assert c.num_components == 6
+        assert c.sizes.tolist() == [4, 3, 2, 1, 1, 1]
+        assert c.largest == 4
+        assert c.largest_fraction == pytest.approx(4 / 12)
+
+    def test_connected(self, cycle_graph):
+        c = component_census(cycle_graph)
+        assert c.num_components == 1
+        assert c.largest_fraction == 1.0
+
+    def test_empty(self, empty_graph):
+        c = component_census(empty_graph)
+        assert c.num_components == 0
+        assert c.largest == 0
+
+    def test_scipy_labels_partition(self, two_cliques):
+        labels = scipy_components(two_cliques)
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[4]
+
+
+class TestBFS:
+    def test_path_levels(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_is_minus_one(self, two_cliques):
+        levels = bfs_levels(two_cliques, 0)
+        assert all(levels[4:] == -1)
+        assert all(levels[:4] >= 0)
+
+    def test_cycle_levels(self, cycle_graph):
+        levels = bfs_levels(cycle_graph, 0)
+        assert levels.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_star_levels(self, star_graph):
+        levels = bfs_levels(star_graph, 3)
+        assert levels[3] == 0
+        assert levels[0] == 1
+        assert all(levels[[1, 2, 4, 5, 6, 7]] == 2)
+
+    def test_source_only(self, isolated_vertices):
+        levels = bfs_levels(isolated_vertices, 2)
+        assert levels[2] == 0
+        assert np.count_nonzero(levels >= 0) == 1
+
+
+class TestDiameter:
+    def test_exact_path(self, path_graph):
+        assert exact_diameter(path_graph) == 5
+
+    def test_exact_cycle(self, cycle_graph):
+        assert exact_diameter(cycle_graph) == 3
+
+    def test_exact_star(self, star_graph):
+        assert exact_diameter(star_graph) == 2
+
+    def test_pseudo_lower_bounds_exact(self):
+        # Double sweep is exact on trees and a lower bound in general.
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            pairs = [
+                (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                for _ in range(45)
+            ]
+            g = from_edge_list(pairs, num_vertices=30)
+            assert pseudo_diameter(g) <= exact_diameter(g)
+
+    def test_pseudo_exact_on_path(self, path_graph):
+        assert pseudo_diameter(path_graph) == 5
+
+    def test_empty(self, empty_graph):
+        assert pseudo_diameter(empty_graph) == 0
+        assert exact_diameter(empty_graph) == 0
+
+
+class TestSummarize:
+    def test_fields(self, mixed_graph):
+        p = summarize(mixed_graph, "mixed")
+        assert p.name == "mixed"
+        assert p.num_vertices == 12
+        assert p.num_edges == 7
+        assert p.components.num_components == 6
+        assert p.pseudo_diameter >= 2

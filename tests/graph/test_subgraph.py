@@ -1,0 +1,108 @@
+"""Tests for subgraph extraction."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.graph.subgraph import (
+    component_subgraph,
+    filter_edges,
+    induced_subgraph,
+    largest_component_subgraph,
+    split_components,
+)
+
+
+class TestInduced:
+    def test_basic(self, two_cliques):
+        sub, mapping = induced_subgraph(two_cliques, np.array([0, 1, 2, 3]))
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6  # K4
+        assert mapping.tolist() == [0, 1, 2, 3]
+
+    def test_cross_edges_dropped(self, two_cliques):
+        sub, _ = induced_subgraph(two_cliques, np.array([0, 1, 4, 5]))
+        assert sub.num_edges == 2  # (0,1) and (4,5) only
+
+    def test_ids_compacted(self, two_cliques):
+        sub, mapping = induced_subgraph(two_cliques, np.array([5, 7]))
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+        assert sorted(mapping.tolist()) == [5, 7]
+
+    def test_empty_selection(self, two_cliques):
+        sub, mapping = induced_subgraph(
+            two_cliques, np.empty(0, dtype=np.int64)
+        )
+        assert sub.num_vertices == 0
+        assert mapping.size == 0
+
+    def test_rejects_out_of_range(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            induced_subgraph(two_cliques, np.array([99]))
+
+    def test_rejects_duplicates(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            induced_subgraph(two_cliques, np.array([1, 1]))
+
+
+class TestFilterEdges:
+    def test_keeps_subset(self, path_graph):
+        src, dst = path_graph.undirected_edge_array()
+        keep = np.ones(src.shape[0], dtype=bool)
+        keep[2] = False
+        filtered = filter_edges(path_graph, keep)
+        assert filtered.num_edges == path_graph.num_edges - 1
+        assert filtered.num_vertices == path_graph.num_vertices
+
+    def test_rejects_bad_mask(self, path_graph):
+        with pytest.raises(ConfigurationError):
+            filter_edges(path_graph, np.ones(3, dtype=bool))
+
+
+class TestComponentExtraction:
+    def test_component_subgraph(self, mixed_graph):
+        labels = repro.connected_components(mixed_graph)
+        sub, mapping = component_subgraph(mixed_graph, labels, int(labels[4]))
+        assert sub.num_vertices == 3  # triangle {4,5,6}
+        assert sub.num_edges == 3
+        assert sorted(mapping.tolist()) == [4, 5, 6]
+
+    def test_largest_component(self, mixed_graph):
+        sub, mapping = largest_component_subgraph(mixed_graph)
+        assert sub.num_vertices == 4  # path {0,1,2,3}
+        assert sorted(mapping.tolist()) == [0, 1, 2, 3]
+
+    def test_largest_with_explicit_labels(self, mixed_graph):
+        labels = repro.connected_components(mixed_graph, "sv")
+        sub, _ = largest_component_subgraph(mixed_graph, labels)
+        assert sub.num_vertices == 4
+
+    def test_split_components(self, mixed_graph):
+        parts = split_components(mixed_graph)
+        sizes = [sub.num_vertices for sub, _ in parts]
+        assert sizes == [4, 3, 2, 1, 1, 1]
+        # Vertex sets partition the graph.
+        all_ids = sorted(
+            int(v) for _, mapping in parts for v in mapping
+        )
+        assert all_ids == list(range(12))
+
+    def test_split_min_size(self, mixed_graph):
+        parts = split_components(mixed_graph, min_size=2)
+        assert [sub.num_vertices for sub, _ in parts] == [4, 3, 2]
+
+    def test_unknown_label_rejected(self, mixed_graph):
+        labels = repro.connected_components(mixed_graph)
+        with pytest.raises(ConfigurationError):
+            component_subgraph(mixed_graph, labels, 999)
+
+    def test_components_internally_connected(self):
+        from repro.generators import kronecker_graph
+        from repro.graph.properties import component_census
+
+        g = kronecker_graph(8, edge_factor=6, seed=0)
+        for sub, _ in split_components(g, min_size=2)[:5]:
+            census = component_census(sub)
+            assert census.num_components == 1

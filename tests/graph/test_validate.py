@@ -1,0 +1,102 @@
+"""Unit tests for semantic CSR validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_csr
+from repro.graph.coo import EdgeList
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import (
+    check_no_duplicates,
+    check_no_self_loops,
+    check_sorted_neighbors,
+    check_symmetric,
+    validate_graph,
+)
+
+
+def raw(indptr, indices):
+    return CSRGraph(np.asarray(indptr), np.asarray(indices))
+
+
+class TestSymmetry:
+    def test_symmetric_passes(self, two_cliques):
+        check_symmetric(two_cliques)
+
+    def test_asymmetric_fails(self):
+        g = raw([0, 1, 1], [1])  # edge (0,1) without mirror
+        with pytest.raises(GraphFormatError, match="not symmetric"):
+            check_symmetric(g)
+
+    def test_self_loop_is_own_mirror(self):
+        el = EdgeList(2, np.array([0]), np.array([0]))
+        g = build_csr(el, drop_self_loops=False)
+        check_symmetric(g)
+
+    def test_multiplicity_mismatch_fails(self):
+        # (0,1) twice but (1,0) once.
+        g = raw([0, 2, 3], [1, 1, 0])
+        with pytest.raises(GraphFormatError, match="not symmetric"):
+            check_symmetric(g)
+
+
+class TestDuplicates:
+    def test_clean_passes(self, path_graph):
+        check_no_duplicates(path_graph)
+
+    def test_duplicates_fail(self):
+        g = raw([0, 2, 4], [1, 1, 0, 0])
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            check_no_duplicates(g)
+
+
+class TestSelfLoops:
+    def test_clean_passes(self, path_graph):
+        check_no_self_loops(path_graph)
+
+    def test_loops_fail(self):
+        el = EdgeList(2, np.array([0]), np.array([0]))
+        g = build_csr(el, drop_self_loops=False)
+        with pytest.raises(GraphFormatError, match="self loops"):
+            check_no_self_loops(g)
+
+
+class TestSortedNeighbors:
+    def test_sorted_passes(self, star_graph):
+        check_sorted_neighbors(star_graph)
+
+    def test_unsorted_fails(self):
+        el = EdgeList(4, np.array([0, 0, 0]), np.array([3, 1, 2]))
+        g = build_csr(el, sort_neighbors=False)
+        with pytest.raises(GraphFormatError, match="not sorted"):
+            check_sorted_neighbors(g)
+
+    def test_descending_across_row_boundary_ok(self):
+        # Row 0 ends with 2, row 1 starts with 0: fine, rows independent.
+        g = raw([0, 2, 4, 4], [1, 2, 0, 2])
+        check_sorted_neighbors(g)
+
+    def test_tiny_graphs_pass(self, empty_graph, single_vertex):
+        check_sorted_neighbors(empty_graph)
+        check_sorted_neighbors(single_vertex)
+
+
+class TestValidateGraph:
+    def test_full_suite_on_clean_graph(self, two_cliques):
+        validate_graph(two_cliques, require_sorted=True)
+
+    def test_flags_allow_violations(self):
+        el = EdgeList(3, np.array([0, 0, 1]), np.array([0, 1, 0]))
+        g = build_csr(
+            el, drop_self_loops=False, dedup=False, sort_neighbors=False
+        )
+        validate_graph(
+            g, allow_self_loops=True, allow_duplicates=True
+        )
+
+    def test_rejects_loops_by_default(self):
+        el = EdgeList(2, np.array([0]), np.array([0]))
+        g = build_csr(el, drop_self_loops=False)
+        with pytest.raises(GraphFormatError):
+            validate_graph(g)

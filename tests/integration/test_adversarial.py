@@ -1,0 +1,134 @@
+"""Adversarial structures from the paper's worst-case analysis (Sec. V-A).
+
+The paper constructs worst cases for link (a depth-one tree whose root has
+the highest index, hooked in descending order, forcing a linear walk) and
+compress (linear-depth trees).  These tests build those exact structures
+and assert the algorithms remain correct — and that the safety caps don't
+misfire on legitimately expensive-but-finite inputs.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import equivalent_labelings
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress, compress_all
+from repro.core.link import LinkCounters, link
+from repro.graph import GraphBuilder, from_edge_list
+from repro.unionfind import ParentArray
+
+
+class TestAdversarialLinkOrder:
+    def test_descending_star_hooks_force_long_walks(self):
+        """Paper Sec. V-A: leaves hook the max-index root in descending
+        order; the lowest-index edge then walks a long chain."""
+        n = 64
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        root = n - 1
+        counters = LinkCounters()
+        # Hook leaves in descending index order (adversarial).
+        for leaf in range(n - 2, -1, -1):
+            link(pi, leaf, root, counters)
+        p = ParentArray(pi)
+        assert p.holds_invariant1()
+        labels = p.labels()
+        assert len(set(labels.tolist())) == 1
+        # The adversarial order really did force multi-step walks.
+        assert counters.max_iterations > 1
+
+    def test_ascending_star_is_cheap(self):
+        n = 64
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        counters = LinkCounters()
+        for leaf in range(0, n - 1):
+            link(pi, leaf, n - 1, counters)
+        assert counters.mean_iterations < 3.0
+
+    def test_worst_case_chain_then_compress(self):
+        """Linear-depth tree: compress of the deepest vertex is O(n) but
+        finite and correct."""
+        n = 256
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        pi[1:] = np.arange(n - 1)  # depth n-1 chain
+        steps = compress(pi, n - 1)
+        assert steps == n - 2
+        assert pi[n - 1] == 0
+
+    def test_adversarial_edge_orders_stay_exact(self):
+        """Afforest over a path graph presented in several hostile edge
+        orders (descending, interleaved ends-first)."""
+        n = 200
+        path_edges = [(i, i + 1) for i in range(n - 1)]
+        orders = [
+            list(reversed(path_edges)),
+            path_edges[::2] + path_edges[1::2],
+            sorted(path_edges, key=lambda e: -(e[0] % 7)),
+        ]
+        ref = None
+        for edges in orders:
+            g = from_edge_list(edges, num_vertices=n, sort_neighbors=False)
+            labels = repro.connected_components(g, "afforest")
+            if ref is None:
+                ref = labels
+            assert equivalent_labelings(labels, ref)
+            assert len(set(labels.tolist())) == 1
+
+
+class TestDegenerateGraphs:
+    ALGOS = ["afforest", "afforest-noskip", "sv", "lp", "bfs", "dobfs"]
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_empty(self, algorithm, empty_graph):
+        labels = repro.connected_components(empty_graph, algorithm)
+        assert labels.shape == (0,)
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_single_vertex(self, algorithm, single_vertex):
+        labels = repro.connected_components(single_vertex, algorithm)
+        assert labels.shape == (1,)
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_all_isolated(self, algorithm, isolated_vertices):
+        labels = repro.connected_components(isolated_vertices, algorithm)
+        assert len(set(labels.tolist())) == 5
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_star_high_contention(self, algorithm):
+        g = GraphBuilder(101).add_star(100, list(range(100))).build()
+        labels = repro.connected_components(g, algorithm)
+        assert len(set(labels.tolist())) == 1
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_long_path(self, algorithm):
+        n = 300
+        g = GraphBuilder(n).add_path(list(range(n))).build()
+        labels = repro.connected_components(g, algorithm)
+        assert len(set(labels.tolist())) == 1
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_complete_graph(self, algorithm):
+        g = GraphBuilder(20).add_clique(list(range(20))).build()
+        labels = repro.connected_components(g, algorithm)
+        assert len(set(labels.tolist())) == 1
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_many_tiny_components(self, algorithm):
+        b = GraphBuilder(100)
+        for i in range(0, 100, 2):
+            b.add_edge(i, i + 1)
+        labels = repro.connected_components(b.build(), algorithm)
+        assert len(set(labels.tolist())) == 50
+
+    def test_self_loops_tolerated_by_afforest(self):
+        """Graphs built without self-loop dropping still resolve."""
+        from repro.graph.builder import build_csr
+        from repro.graph.coo import EdgeList
+
+        el = EdgeList(
+            4, np.array([0, 1, 2, 3]), np.array([0, 2, 1, 3])
+        )
+        g = build_csr(el, drop_self_loops=False)
+        labels = repro.connected_components(g, "afforest")
+        assert labels[1] == labels[2]
+        assert labels[0] != labels[3]

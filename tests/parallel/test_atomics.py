@@ -1,0 +1,52 @@
+"""Unit tests for atomic operations with contention accounting."""
+
+import numpy as np
+
+from repro.parallel.atomics import AtomicStats, AtomicView
+
+
+class TestAtomicView:
+    def test_load_store(self):
+        a = AtomicView(np.array([1, 2, 3]))
+        assert a.load(1) == 2
+        a.store(1, 9)
+        assert a.load(1) == 9
+        assert a.stats.reads == 2
+        assert a.stats.writes == 1
+
+    def test_cas_success(self):
+        a = AtomicView(np.array([5, 5]))
+        assert a.compare_and_swap(0, 5, 7)
+        assert a.array[0] == 7
+        assert a.stats.cas_attempts == 1
+        assert a.stats.cas_failures == 0
+
+    def test_cas_failure_counts(self):
+        a = AtomicView(np.array([5]))
+        assert not a.compare_and_swap(0, 4, 7)
+        assert a.array[0] == 5
+        assert a.stats.cas_failures == 1
+
+    def test_min_write_decreases(self):
+        a = AtomicView(np.array([10]))
+        assert a.min_write(0, 3)
+        assert a.array[0] == 3
+
+    def test_min_write_rejects_larger(self):
+        a = AtomicView(np.array([3]))
+        assert not a.min_write(0, 10)
+        assert a.array[0] == 3
+
+    def test_min_write_equal_is_noop(self):
+        a = AtomicView(np.array([3]))
+        assert not a.min_write(0, 3)
+
+
+class TestAtomicStats:
+    def test_merge(self):
+        a = AtomicStats(reads=1, writes=2, cas_attempts=3, cas_failures=1)
+        b = AtomicStats(reads=10, writes=20, cas_attempts=30, cas_failures=4)
+        a.merge(b)
+        assert (a.reads, a.writes, a.cas_attempts, a.cas_failures) == (
+            11, 22, 33, 5,
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for work partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.scheduler import partition_indices
+
+
+def flatten(parts):
+    return sorted(int(x) for p in parts for x in p)
+
+
+class TestBlock:
+    def test_covers_all_items(self):
+        parts = partition_indices(10, 3)
+        assert flatten(parts) == list(range(10))
+        assert len(parts) == 3
+
+    def test_contiguous(self):
+        parts = partition_indices(9, 3)
+        for p in parts:
+            assert np.all(np.diff(p) == 1)
+
+    def test_more_workers_than_items(self):
+        parts = partition_indices(2, 5)
+        assert len(parts) == 5
+        assert flatten(parts) == [0, 1]
+
+    def test_zero_items(self):
+        parts = partition_indices(0, 4)
+        assert flatten(parts) == []
+        assert len(parts) == 4
+
+
+class TestCyclic:
+    def test_stride_assignment(self):
+        parts = partition_indices(7, 3, schedule="cyclic")
+        assert parts[0].tolist() == [0, 3, 6]
+        assert parts[1].tolist() == [1, 4]
+        assert parts[2].tolist() == [2, 5]
+
+    def test_covers_all(self):
+        assert flatten(partition_indices(11, 4, schedule="cyclic")) == list(range(11))
+
+
+class TestChunk:
+    def test_round_robin_chunks(self):
+        parts = partition_indices(10, 2, schedule="chunk", chunk_size=3)
+        # chunks: [0..2],[3..5],[6..8],[9] dealt alternately
+        assert parts[0].tolist() == [0, 1, 2, 6, 7, 8]
+        assert parts[1].tolist() == [3, 4, 5, 9]
+
+    def test_covers_all(self):
+        assert flatten(
+            partition_indices(23, 3, schedule="chunk", chunk_size=4)
+        ) == list(range(23))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            partition_indices(4, 2, schedule="chunk", chunk_size=0)
+
+
+class TestGeneral:
+    def test_explicit_item_array(self):
+        items = np.array([5, 7, 9, 11])
+        parts = partition_indices(items, 2)
+        assert flatten(parts) == [5, 7, 9, 11]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            partition_indices(4, 0)
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ConfigurationError):
+            partition_indices(-1, 2)
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ConfigurationError, match="schedule"):
+            partition_indices(4, 2, schedule="guided")

@@ -1,0 +1,156 @@
+"""Property-based tests of the paper's invariants (hypothesis).
+
+Invariant 1 (``pi[x] <= x``), acyclicity (Lemma 1), and connectivity
+preservation (Lemmas 4–5, Theorem 2) must hold for *every* sequence of
+link/compress operations under *every* interleaving — exactly the
+quantification property-based testing is built for.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress, compress_all, compress_kernel
+from repro.core.link import link, link_batch, link_kernel
+from repro.parallel import SimulatedMachine
+from repro.unionfind import ParentArray, SequentialUnionFind
+
+
+@st.composite
+def edge_sequences(draw, max_n=24, max_edges=60):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=max_edges,
+        )
+    )
+    return n, edges
+
+
+def reference_partition(n, edges):
+    uf = SequentialUnionFind(n)
+    for u, v in edges:
+        uf.union(u, v)
+    return uf.labels()
+
+
+def partitions_equal(labels_a, labels_b):
+    from repro.analysis.verify import equivalent_labelings
+
+    return equivalent_labelings(labels_a, labels_b)
+
+
+class TestScalarInvariants:
+    @given(edge_sequences())
+    @settings(max_examples=120, deadline=None)
+    def test_link_preserves_invariant1_and_acyclicity(self, case):
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        for u, v in edges:
+            link(pi, u, v)
+            p = ParentArray(pi)
+            assert p.holds_invariant1()
+        assert not ParentArray(pi).has_cycle()
+
+    @given(edge_sequences())
+    @settings(max_examples=120, deadline=None)
+    def test_link_computes_exact_partition(self, case):
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        for u, v in edges:
+            link(pi, u, v)
+        assert partitions_equal(
+            ParentArray(pi).labels(), reference_partition(n, edges)
+        )
+
+    @given(edge_sequences(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_compress_never_changes_partition(self, case, data):
+        """compress is idempotent w.r.t. the partition at ANY point during
+        linking (Theorem 2 + Sec. III-B)."""
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        for i, (u, v) in enumerate(edges):
+            link(pi, u, v)
+            if data.draw(st.booleans(), label=f"compress after edge {i}"):
+                before = ParentArray(pi).labels()
+                if data.draw(st.booleans(), label="full or single"):
+                    compress_all(pi)
+                else:
+                    w = data.draw(st.integers(0, n - 1), label="vertex")
+                    compress(pi, w)
+                assert np.array_equal(ParentArray(pi).labels(), before)
+                assert ParentArray(pi).holds_invariant1()
+        assert partitions_equal(
+            ParentArray(pi).labels(), reference_partition(n, edges)
+        )
+
+
+class TestBatchInvariants:
+    @given(edge_sequences(), st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_batch_splits_converge(self, case, num_batches):
+        """Sec. III-B: the edge set may be partitioned into arbitrary
+        subgraphs processed independently, with compress interleaved."""
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        if edges:
+            src = np.asarray([e[0] for e in edges], dtype=VERTEX_DTYPE)
+            dst = np.asarray([e[1] for e in edges], dtype=VERTEX_DTYPE)
+            bounds = np.linspace(0, len(edges), num_batches + 1).astype(int)
+            for b in range(num_batches):
+                link_batch(pi, src[bounds[b]:bounds[b + 1]],
+                           dst[bounds[b]:bounds[b + 1]])
+                compress_all(pi)
+                assert ParentArray(pi).holds_invariant1()
+        assert partitions_equal(
+            ParentArray(pi).labels(), reference_partition(n, edges)
+        )
+
+
+class TestConcurrentInvariants:
+    @given(
+        edge_sequences(max_n=16, max_edges=30),
+        st.integers(1, 6),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings_exact(self, case, workers, seed):
+        """Theorem 1 under truly concurrent execution: any seeded random
+        interleaving of link kernels yields the exact partition."""
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        if edges:
+            src = np.asarray([e[0] for e in edges], dtype=VERTEX_DTYPE)
+            dst = np.asarray([e[1] for e in edges], dtype=VERTEX_DTYPE)
+            m = SimulatedMachine(
+                workers, schedule="cyclic", interleave="random", seed=seed
+            )
+            m.parallel_for(len(edges), link_kernel, pi, src, dst)
+        p = ParentArray(pi)
+        assert p.holds_invariant1()
+        assert not p.has_cycle()
+        assert partitions_equal(p.labels(), reference_partition(n, edges))
+
+    @given(
+        edge_sequences(max_n=16, max_edges=30),
+        st.integers(1, 6),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concurrent_compress_after_links(self, case, workers, seed):
+        n, edges = case
+        pi = np.arange(n, dtype=VERTEX_DTYPE)
+        for u, v in edges:
+            link(pi, u, v)
+        before = ParentArray(pi).labels()
+        m = SimulatedMachine(
+            workers, schedule="cyclic", interleave="random", seed=seed
+        )
+        m.parallel_for(n, compress_kernel, pi)
+        assert ParentArray(pi).is_flat()
+        assert np.array_equal(ParentArray(pi).labels(), before)

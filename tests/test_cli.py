@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_graph, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path, two_cliques):
+    path = tmp_path / "g.el"
+    write_edge_list(two_cliques, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path, capsys):
+        out = str(tmp_path / "kron.npz")
+        assert main(["generate", "kron", out, "--size", "tiny"]) == 0
+        g = load_graph(out)
+        assert g.num_vertices == 1024
+        assert "wrote kron/tiny" in capsys.readouterr().out
+
+    def test_seed_changes_output(self, tmp_path):
+        a = str(tmp_path / "a.npz")
+        b = str(tmp_path / "b.npz")
+        main(["--seed", "1", "generate", "urand", a, "--size", "tiny"])
+        main(["--seed", "2", "generate", "urand", b, "--size", "tiny"])
+        assert load_graph(a) != load_graph(b)
+
+
+class TestInfo:
+    def test_file_input(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:    8" in out
+        assert "components:  2" in out
+
+    def test_dataset_spec(self, capsys):
+        assert main(["info", "dataset:urand:tiny"]) == 0
+        assert "components:  1" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/g.el"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["info", "dataset:nope"]) == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_default_algorithm(self, graph_file, capsys):
+        assert main(["solve", graph_file]) == 0
+        assert "afforest: 2 components" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["sv", "lp", "bfs", "dobfs"])
+    def test_other_algorithms(self, graph_file, algo, capsys):
+        assert main(["solve", graph_file, "--algorithm", algo]) == 0
+        assert f"{algo}: 2 components" in capsys.readouterr().out
+
+    def test_labels_output(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "labels.npz")
+        assert main(["solve", graph_file, "--output", out]) == 0
+        labels = np.load(out)["labels"]
+        assert labels.shape == (8,)
+        assert labels[0] == labels[3]
+        assert labels[0] != labels[4]
+
+    def test_unknown_algorithm(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--algorithm", "magic"]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_prints_table(self, graph_file, capsys):
+        assert main(
+            ["compare", graph_file, "--algorithms", "afforest,sv", "--repeats", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "afforest" in out
+        assert "sv" in out
+        assert "speedup_vs_afforest" in out
+
+
+class TestConvert:
+    def test_el_to_metis(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.graph")
+        assert main(["convert", graph_file, out]) == 0
+        original = load_graph(graph_file)
+        assert load_graph(out) == original
+
+    def test_dataset_to_file(self, tmp_path):
+        out = str(tmp_path / "road.el")
+        assert main(["convert", "dataset:road:tiny", out]) == 0
+        assert load_graph(out).num_edges > 0

@@ -1,0 +1,138 @@
+"""Coverage for small shared helpers: errors, rng plumbing, raw edge
+generators, CLI parser construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphFormatError,
+    InvariantViolationError,
+    ReproError,
+)
+from repro.generators.kronecker import kronecker_edges
+from repro.generators.lattice import grid_edges
+from repro.generators.powerlaw import preferential_attachment_edges
+from repro.generators.rng import (
+    make_rng,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+)
+from repro.generators.smallworld import watts_strogatz_edges
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphFormatError, InvariantViolationError, ConfigurationError,
+         ConvergenceError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catch_at_boundary(self):
+        """A caller catching ReproError sees every library failure mode."""
+        import repro
+
+        g = repro.from_edge_list([(0, 1)])
+        try:
+            repro.connected_components(g, "nope")
+        except ReproError as exc:
+            assert "unknown algorithm" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ReproError")
+
+
+class TestRngPlumbing:
+    def test_make_rng_from_int(self):
+        a = make_rng(7).integers(0, 100, 5)
+        b = make_rng(7).integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_require_positive(self):
+        require_positive("x", 1)
+        with pytest.raises(ConfigurationError, match="x must be >= 1"):
+            require_positive("x", 0)
+
+    def test_require_nonnegative(self):
+        require_nonnegative("y", 0)
+        with pytest.raises(ConfigurationError):
+            require_nonnegative("y", -0.5)
+
+    def test_require_probability(self):
+        require_probability("p", 0.0)
+        require_probability("p", 1.0)
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 1.01)
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 0.0, allow_zero=False)
+
+
+class TestRawEdgeGenerators:
+    def test_grid_edges_count(self):
+        el = grid_edges(3, 4)
+        assert el.num_edges == 2 * 4 + 3 * 3  # horizontal + vertical
+
+    def test_grid_edges_periodic_wraps(self):
+        el = grid_edges(3, 3, periodic=True)
+        pairs = set(map(tuple, el.canonicalized().as_pairs()))
+        assert (0, 2) in pairs  # row wrap
+        assert (0, 6) in pairs  # column wrap
+
+    def test_torus_2xk_not_doubled(self):
+        # Wrap edges are suppressed for dimensions <= 2 (they would
+        # duplicate existing edges).
+        el = grid_edges(2, 5, periodic=True)
+        dedup = el.canonicalized().deduplicated()
+        assert dedup.num_edges == el.num_edges
+
+    def test_kronecker_edges_range_and_determinism(self):
+        rng = np.random.default_rng(3)
+        src, dst = kronecker_edges(6, 500, rng=rng)
+        assert src.min() >= 0 and src.max() < 64
+        assert dst.min() >= 0 and dst.max() < 64
+        rng2 = np.random.default_rng(3)
+        src2, dst2 = kronecker_edges(6, 500, rng=rng2)
+        assert np.array_equal(src, src2)
+
+    def test_kronecker_edges_bad_probs(self):
+        with pytest.raises(ConfigurationError):
+            kronecker_edges(4, 10, a=0.8, b=0.3, c=0.2,
+                            rng=np.random.default_rng(0))
+
+    def test_preferential_attachment_edge_count(self):
+        rng = np.random.default_rng(1)
+        el = preferential_attachment_edges(100, 3, rng)
+        # Seed clique 3*(3+1)/2 = 6 edges + 96 * 3 arrivals.
+        assert el.num_edges == 6 + 96 * 3
+
+    def test_watts_strogatz_edges_zero_k(self):
+        el = watts_strogatz_edges(10, 0, 0.0, np.random.default_rng(0))
+        assert el.num_edges == 0
+
+
+class TestCliParser:
+    def test_build_parser_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["solve", "g.el", "--algorithm", "sv"])
+        assert args.command == "solve"
+        assert args.algorithm == "sv"
+
+    def test_parser_requires_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,135 @@
+"""Unit tests for the ParentArray (π) wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.unionfind import ParentArray
+
+
+class TestConstruction:
+    def test_from_size_self_pointing(self):
+        p = ParentArray(5)
+        assert p.pi.tolist() == [0, 1, 2, 3, 4]
+        assert p.num_trees() == 5
+
+    def test_from_array_copies(self):
+        arr = np.array([0, 0, 1])
+        p = ParentArray(arr)
+        arr[0] = 2
+        assert p.pi[0] == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvariantViolationError):
+            ParentArray(np.array([0, 5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvariantViolationError):
+            ParentArray(np.array([-1, 0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvariantViolationError):
+            ParentArray(np.array([[0]]))
+
+    def test_empty(self):
+        p = ParentArray(0)
+        assert p.num_trees() == 0
+        assert p.max_depth() == 0
+
+
+class TestInvariant1:
+    def test_identity_holds(self):
+        assert ParentArray(4).holds_invariant1()
+
+    def test_downward_pointer_holds(self):
+        p = ParentArray(np.array([0, 0, 1]))
+        assert p.holds_invariant1()
+        p.check_invariant1()
+
+    def test_upward_pointer_violates(self):
+        p = ParentArray(np.array([1, 1]))
+        assert not p.holds_invariant1()
+        with pytest.raises(InvariantViolationError, match="pi\\[0\\] = 1"):
+            p.check_invariant1()
+
+
+class TestCycles:
+    def test_identity_no_cycle(self):
+        assert not ParentArray(6).has_cycle()
+
+    def test_chain_no_cycle(self):
+        assert not ParentArray(np.array([0, 0, 1, 2])).has_cycle()
+
+    def test_two_cycle_detected(self):
+        assert ParentArray(np.array([1, 0])).has_cycle()
+
+    def test_three_cycle_detected(self):
+        assert ParentArray(np.array([1, 2, 0])).has_cycle()
+
+    def test_cycle_behind_chain_detected(self):
+        # 3 -> 2 -> 1 <-> 0
+        assert ParentArray(np.array([1, 0, 1, 2])).has_cycle()
+
+    def test_two_cycle_among_trees(self):
+        p = ParentArray(np.array([0, 1, 3, 2, 0]))
+        assert p.has_cycle()
+
+
+class TestNavigation:
+    def test_find_root(self):
+        p = ParentArray(np.array([0, 0, 1, 2]))
+        assert p.find_root(3) == 0
+        assert p.find_root(0) == 0
+
+    def test_depth(self):
+        p = ParentArray(np.array([0, 0, 1, 2]))
+        assert p.depth(0) == 0
+        assert p.depth(3) == 3
+
+    def test_depths_vector(self):
+        p = ParentArray(np.array([0, 0, 1, 2, 4]))
+        assert p.depths().tolist() == [0, 1, 2, 3, 0]
+
+    def test_max_depth(self):
+        assert ParentArray(np.array([0, 0, 1, 2])).max_depth() == 3
+
+    def test_find_root_raises_on_cycle(self):
+        p = ParentArray(np.array([1, 0]))
+        with pytest.raises(InvariantViolationError, match="cycle"):
+            p.find_root(0)
+
+    def test_depths_raise_on_cycle(self):
+        p = ParentArray(np.array([1, 0, 0]))
+        with pytest.raises(InvariantViolationError, match="cycle"):
+            p.depths()
+
+
+class TestShape:
+    def test_roots(self):
+        p = ParentArray(np.array([0, 0, 2, 2]))
+        assert p.roots().tolist() == [0, 2]
+
+    def test_is_flat_true(self):
+        assert ParentArray(np.array([0, 0, 0, 3])).is_flat()
+
+    def test_is_flat_false(self):
+        assert not ParentArray(np.array([0, 0, 1])).is_flat()
+
+    def test_labels_resolve_chains(self):
+        p = ParentArray(np.array([0, 0, 1, 2, 4, 4]))
+        assert p.labels().tolist() == [0, 0, 0, 0, 4, 4]
+
+    def test_tree_sizes(self):
+        p = ParentArray(np.array([0, 0, 1, 3]))
+        assert p.tree_sizes() == {0: 3, 3: 1}
+
+    def test_copy_is_independent(self):
+        p = ParentArray(3)
+        q = p.copy()
+        q.pi[2] = 0
+        assert p.pi[2] == 2
+
+    def test_getitem_and_len(self):
+        p = ParentArray(np.array([0, 0]))
+        assert len(p) == 2
+        assert p[1] == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the sequential union-find oracle."""
+
+import numpy as np
+
+from repro.graph.properties import scipy_components
+from repro.analysis.verify import equivalent_labelings
+from repro.unionfind import SequentialUnionFind, sequential_components
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = SequentialUnionFind(4)
+        assert uf.num_sets == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_merges(self):
+        uf = SequentialUnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.num_sets == 3
+
+    def test_union_idempotent(self):
+        uf = SequentialUnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_sets == 3
+
+    def test_transitive(self):
+        uf = SequentialUnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_labels_partition(self):
+        uf = SequentialUnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        labels = uf.labels()
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[2] not in (labels[0], labels[3])
+
+    def test_path_halving_flattens(self):
+        uf = SequentialUnionFind(8)
+        for i in range(7):
+            uf.union(i, i + 1)
+        root = uf.find(7)
+        # After finds, every parent chain is short.
+        assert uf.find(0) == root
+        assert uf.num_sets == 1
+
+
+class TestSequentialComponents:
+    def test_mixed_graph(self, mixed_graph, mixed_components):
+        labels = sequential_components(mixed_graph)
+        for comp in mixed_components:
+            ids = {int(labels[v]) for v in comp}
+            assert len(ids) == 1
+
+    def test_matches_scipy(self, random_graph_factory):
+        for seed in range(8):
+            g = random_graph_factory(60, 80, seed)
+            assert equivalent_labelings(
+                sequential_components(g), scipy_components(g)
+            )
+
+    def test_empty(self, empty_graph):
+        assert sequential_components(empty_graph).shape == (0,)
+
+    def test_isolated(self, isolated_vertices):
+        labels = sequential_components(isolated_vertices)
+        assert len(set(labels.tolist())) == 5
