@@ -22,7 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import analysis, baselines, core, distributed, generators, graph, parallel
+from repro import (
+    analysis,
+    baselines,
+    core,
+    distributed,
+    engine,
+    generators,
+    graph,
+    parallel,
+)
 from repro.baselines import (
     bfs_cc,
     dobfs_cc,
@@ -31,6 +40,7 @@ from repro.baselines import (
     shiloach_vishkin,
 )
 from repro.core import AfforestResult, afforest, afforest_simulated
+from repro.engine import CCResult
 from repro.errors import (
     ConfigurationError,
     ConvergenceError,
@@ -49,6 +59,7 @@ __all__ = [
     "from_edge_array",
     "from_edge_list",
     "ParentArray",
+    "CCResult",
     "AfforestResult",
     "afforest",
     "afforest_simulated",
@@ -68,29 +79,11 @@ __all__ = [
     "baselines",
     "core",
     "distributed",
+    "engine",
     "generators",
     "graph",
     "parallel",
 ]
-
-#: algorithm name -> labels-producing callable.
-_ALGORITHMS = {
-    "afforest": lambda g, **kw: afforest(g, **kw).labels,
-    "afforest-noskip": lambda g, **kw: afforest(
-        g, skip_largest=False, **kw
-    ).labels,
-    "sv": lambda g, **kw: shiloach_vishkin(g, **kw).labels,
-    "lp": lambda g, **kw: label_propagation(g, **kw).labels,
-    "lp-datadriven": lambda g, **kw: label_propagation_datadriven(
-        g, **kw
-    ).labels,
-    "bfs": lambda g, **kw: bfs_cc(g, **kw).labels,
-    "dobfs": lambda g, **kw: dobfs_cc(g, **kw).labels,
-    "distributed": lambda g, **kw: distributed.distributed_components(
-        g, **kw
-    ).labels,
-    "sequential": lambda g, **kw: sequential_components(g, **kw),
-}
 
 
 def connected_components(
@@ -101,13 +94,12 @@ def connected_components(
     """Component labels of ``graph`` using the named algorithm.
 
     Every algorithm returns an equivalent labeling (same partition of the
-    vertex set); label *values* differ by algorithm.  Available:
-    ``afforest`` (default), ``afforest-noskip``, ``sv``, ``lp``,
-    ``lp-datadriven``, ``bfs``, ``dobfs``, ``distributed``, ``sequential``.
+    vertex set); label *values* differ by algorithm.  Names are resolved
+    through the engine's algorithm registry —
+    ``repro.engine.available_algorithms()`` lists them, and unknown names
+    raise :class:`~repro.errors.ConfigurationError`.  Keyword arguments
+    override the algorithm's registered defaults; for the full result
+    record (counters, phase times, provenance) call
+    :func:`repro.engine.run` directly.
     """
-    fn = _ALGORITHMS.get(algorithm)
-    if fn is None:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
-        )
-    return fn(graph, **kwargs)
+    return engine.run(algorithm, graph, **kwargs).labels

@@ -9,26 +9,15 @@ number of components.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.constants import NO_VERTEX, VERTEX_DTYPE
+from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
 from repro.nputil import segment_ranges
 
-
-@dataclass
-class BFSCCResult:
-    """Outcome of a BFS-CC run."""
-
-    labels: np.ndarray
-    num_components: int
-    edges_processed: int  # directed edge examinations
-    bfs_steps: int  # total frontier expansions (serial rounds)
-    #: edges examined per frontier expansion, in execution order — the
-    #: per-parallel-phase work profile used by the scaling model (Fig. 8b).
-    step_edges: list[int] = None
+#: Back-compat alias — BFS-CC runs return the unified engine record.
+BFSCCResult = CCResult
 
 
 def _bfs_label(
@@ -64,7 +53,7 @@ def _bfs_label(
     return edges, steps
 
 
-def bfs_cc(graph: CSRGraph) -> BFSCCResult:
+def bfs_cc(graph: CSRGraph) -> CCResult:
     """Connected components via repeated parallel BFS."""
     n = graph.num_vertices
     labels = np.full(n, int(NO_VERTEX), dtype=VERTEX_DTYPE)
@@ -84,9 +73,12 @@ def bfs_cc(graph: CSRGraph) -> BFSCCResult:
         edges += e
         steps += s
         cursor += 1
-    return BFSCCResult(
+    # step_edges: edges examined per frontier expansion, in execution order
+    # — the per-parallel-phase work profile used by the scaling model
+    # (Fig. 8b).  num_components is derived from the labeling (one unique
+    # seed label per component).
+    return CCResult(
         labels=labels,
-        num_components=components,
         edges_processed=edges,
         bfs_steps=steps,
         step_edges=step_edges,

@@ -23,11 +23,10 @@ used by all work-efficiency comparisons) and the actual gathered volume
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.constants import NO_VERTEX, VERTEX_DTYPE
+from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
 from repro.nputil import segment_ranges
 
@@ -35,23 +34,8 @@ from repro.nputil import segment_ranges
 DEFAULT_ALPHA = 15.0
 DEFAULT_BETA = 18.0
 
-
-@dataclass
-class DOBFSResult:
-    """Outcome of a DOBFS-CC run."""
-
-    labels: np.ndarray
-    num_components: int
-    edges_processed: int  # early-exit model: what real hardware touches
-    edges_gathered: int  # actual vectorized gather volume
-    top_down_steps: int
-    bottom_up_steps: int
-    #: modeled edges examined per step, in execution order (Fig. 8b input).
-    step_edges: list[int] = None
-
-    @property
-    def bfs_steps(self) -> int:
-        return self.top_down_steps + self.bottom_up_steps
+#: Back-compat alias — DOBFS-CC runs return the unified engine record.
+DOBFSResult = CCResult
 
 
 def _top_down_step(
@@ -122,7 +106,7 @@ def dobfs_cc(
     *,
     alpha: float = DEFAULT_ALPHA,
     beta: float = DEFAULT_BETA,
-) -> DOBFSResult:
+) -> CCResult:
     """Connected components via direction-optimizing BFS."""
     n = graph.num_vertices
     labels = np.full(n, int(NO_VERTEX), dtype=VERTEX_DTYPE)
@@ -182,12 +166,15 @@ def dobfs_cc(
                 step_edges.append(examined)
                 td_steps += 1
         cursor += 1
-    return DOBFSResult(
+    # step_edges: modeled edges examined per step, in execution order
+    # (Fig. 8b input).  edges_processed is the early-exit model (what real
+    # hardware touches); edges_gathered the vectorized gather volume.
+    return CCResult(
         labels=labels,
-        num_components=components,
         edges_processed=edges_modeled,
         edges_gathered=edges_gathered,
         top_down_steps=td_steps,
         bottom_up_steps=bu_steps,
+        bfs_steps=td_steps + bu_steps,
         step_edges=step_edges,
     )

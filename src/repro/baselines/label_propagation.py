@@ -10,30 +10,23 @@ and only processes their edges, trading work for frontier maintenance
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.constants import ITERATION_CAP_FACTOR, ITERATION_CAP_SLACK, VERTEX_DTYPE
+from repro.engine.result import CCResult
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.nputil import segment_ranges
 
-
-@dataclass
-class LPResult:
-    """Outcome of a label-propagation run."""
-
-    labels: np.ndarray
-    iterations: int
-    edges_processed: int  # directed edge examinations summed over iterations
-
-    @property
-    def num_components(self) -> int:
-        return int(np.unique(self.labels).shape[0])
+#: Back-compat alias — LP runs return the unified engine record.
+LPResult = CCResult
 
 
-def label_propagation(graph: CSRGraph) -> LPResult:
+def _lp_result(labels: np.ndarray, iterations: int, edges: int) -> CCResult:
+    return CCResult(labels=labels, iterations=iterations, edges_processed=edges)
+
+
+def label_propagation(graph: CSRGraph) -> CCResult:
     """Synchronous min-label propagation.
 
     Each iteration scatter-mins every edge's source label into its
@@ -43,7 +36,7 @@ def label_propagation(graph: CSRGraph) -> LPResult:
     n = graph.num_vertices
     labels = np.arange(n, dtype=VERTEX_DTYPE)
     if n == 0 or graph.num_directed_edges == 0:
-        return LPResult(labels, 0, 0)
+        return _lp_result(labels, 0, 0)
     src, dst = graph.edge_array()
     cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
     iterations = 0
@@ -57,10 +50,10 @@ def label_propagation(graph: CSRGraph) -> LPResult:
         edges += int(src.shape[0])
         if np.array_equal(labels, before):
             break
-    return LPResult(labels, iterations, edges)
+    return _lp_result(labels, iterations, edges)
 
 
-def label_propagation_datadriven(graph: CSRGraph) -> LPResult:
+def label_propagation_datadriven(graph: CSRGraph) -> CCResult:
     """Data-driven (frontier) min-label propagation.
 
     Only edges leaving vertices whose label changed last iteration are
@@ -72,7 +65,7 @@ def label_propagation_datadriven(graph: CSRGraph) -> LPResult:
     n = graph.num_vertices
     labels = np.arange(n, dtype=VERTEX_DTYPE)
     if n == 0 or graph.num_directed_edges == 0:
-        return LPResult(labels, 0, 0)
+        return _lp_result(labels, 0, 0)
     indptr, indices = graph.indptr, graph.indices
     frontier = np.arange(n, dtype=VERTEX_DTYPE)
     cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
@@ -96,4 +89,4 @@ def label_propagation_datadriven(graph: CSRGraph) -> LPResult:
         np.minimum.at(labels, dst, labels[src])
         changed = np.nonzero(labels != before)[0].astype(VERTEX_DTYPE)
         frontier = changed
-    return LPResult(labels, iterations, edges)
+    return _lp_result(labels, iterations, edges)

@@ -7,7 +7,10 @@ algorithm converges when a full iteration changes nothing; unlike Afforest,
 every edge is reprocessed in every iteration, which is exactly the
 work-inefficiency the paper targets.
 
-Variants:
+The hook/shortcut pipeline is implemented exactly once, in
+:func:`repro.engine.pipelines.sv_pipeline_edges`, against the
+:class:`~repro.engine.backends.ExecutionBackend` primitives.  The entry
+points here select input layout and substrate:
 
 - :func:`shiloach_vishkin` — vectorized, CSR input (the GAP CPU baseline);
 - :func:`shiloach_vishkin_edgelist` — vectorized, flat COO input (the
@@ -17,104 +20,22 @@ Variants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator
-
 import numpy as np
 
-from repro.constants import ITERATION_CAP_FACTOR, ITERATION_CAP_SLACK, VERTEX_DTYPE
-from repro.core.compress import compress_all, compress_kernel
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.engine import run as _engine_run
+from repro.engine.backends import SimulatedBackend, VectorizedBackend
+from repro.engine.pipelines import sv_pipeline_edges
+from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.parallel.machine import KernelContext, SimulatedMachine
-from repro.parallel.metrics import RunStats
-from repro.unionfind.parent import ParentArray
+from repro.parallel.machine import SimulatedMachine
 
-
-@dataclass
-class SVResult:
-    """Outcome of a Shiloach–Vishkin run."""
-
-    labels: np.ndarray
-    iterations: int
-    edges_processed: int  # directed edge examinations summed over iterations
-    max_tree_depth: int = 0  # deepest tree observed before any shortcut
-    run_stats: RunStats | None = None
-    depth_per_iteration: list[int] = field(default_factory=list)
-
-    @property
-    def num_components(self) -> int:
-        return int(np.unique(self.labels).shape[0])
-
-
-def _hook_pass(pi: np.ndarray, src: np.ndarray, dst: np.ndarray) -> bool:
-    """One vectorized hook pass; True if any parent changed.
-
-    Conflicting hooks onto the same root resolve by scatter-min — the batch
-    analogue of "one competing edge's write wins per iteration" (Fig. 1
-    commentary), biased to the smallest label exactly like the CAS variant.
-    """
-    cu = pi[src]
-    cv = pi[dst]
-    mask = (cu < cv) & (pi[cv] == cv)
-    if not mask.any():
-        return False
-    np.minimum.at(pi, cv[mask], cu[mask])
-    return True
-
-
-def _sv_run(
-    pi: np.ndarray,
-    src: np.ndarray,
-    dst: np.ndarray,
-    track_depth: bool,
-    shortcut: str = "full",
-) -> SVResult:
-    if shortcut not in ("full", "single"):
-        raise ConfigurationError(
-            f"shortcut must be 'full' or 'single', got {shortcut!r}"
-        )
-    n = pi.shape[0]
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    edges = 0
-    depths: list[int] = []
-    max_depth = 0
-    while True:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(f"SV exceeded {cap} iterations")
-        changed = _hook_pass(pi, src, dst)
-        edges += int(src.shape[0])
-        if track_depth:
-            d = ParentArray(pi).max_depth()
-            depths.append(d)
-            max_depth = max(max_depth, d)
-        if shortcut == "full":
-            compress_all(pi)
-        else:
-            # The original formulation's single shortcut step per
-            # iteration: pi <- pi[pi] once.  Trees shrink gradually and
-            # convergence takes more iterations than GAP's full compress.
-            pi[:] = pi[pi]
-        if not changed:
-            # With single-step shortcutting the trees may still be deep;
-            # converged means no more hooks, so finish compressing now.
-            if shortcut == "single":
-                compress_all(pi)
-            break
-    return SVResult(
-        labels=pi,
-        iterations=iterations,
-        edges_processed=edges,
-        max_tree_depth=max_depth,
-        depth_per_iteration=depths,
-    )
+#: Back-compat alias — SV runs return the unified engine record.
+SVResult = CCResult
 
 
 def shiloach_vishkin(
     graph: CSRGraph, *, track_depth: bool = False, shortcut: str = "full"
-) -> SVResult:
+) -> CCResult:
     """SV over a CSR graph (vectorized).
 
     ``track_depth`` records the maximum tree depth before each shortcut —
@@ -123,12 +44,9 @@ def shiloach_vishkin(
     formulation, the default) or the original algorithm's single
     ``pi <- pi[pi]`` step.
     """
-    n = graph.num_vertices
-    pi = np.arange(n, dtype=VERTEX_DTYPE)
-    if n == 0:
-        return SVResult(labels=pi, iterations=0, edges_processed=0)
-    src, dst = graph.edge_array()
-    return _sv_run(pi, src, dst, track_depth, shortcut)
+    return _engine_run(
+        "sv", graph, track_depth=track_depth, shortcut=shortcut
+    )
 
 
 def shiloach_vishkin_edgelist(
@@ -137,91 +55,33 @@ def shiloach_vishkin_edgelist(
     num_vertices: int,
     *,
     track_depth: bool = False,
-) -> SVResult:
+) -> CCResult:
     """SV over a flat directed edge list (the GPU data layout).
 
     Semantically identical to :func:`shiloach_vishkin`; exists so the
     layout ablation can charge CSR-expansion cost to the CSR variant and
     none to this one, mirroring the CSR-vs-edge-list GPU comparison.
     """
-    pi = np.arange(num_vertices, dtype=VERTEX_DTYPE)
-    if num_vertices == 0:
-        return SVResult(labels=pi, iterations=0, edges_processed=0)
-    src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
-    dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
-    return _sv_run(pi, src, dst, track_depth)
-
-
-# --------------------------------------------------------------------- #
-# simulated-machine variant
-# --------------------------------------------------------------------- #
-
-
-def _hook_kernel(
-    ctx: KernelContext,
-    e: int,
-    pi: np.ndarray,
-    src: np.ndarray,
-    dst: np.ndarray,
-    changed: dict,
-) -> Generator[None, None, None]:
-    """SV hook for one directed edge, concurrent semantics.
-
-    The hook is the Fig. 1 line-8 assignment ``π(π(v)) <- π(u)`` guarded to
-    roots and performed with CAS; losers simply retry next outer iteration,
-    as in the original algorithm.
-    """
-    u = int(src[e])
-    v = int(dst[e])
-    cu = yield from ctx.read(pi, u)
-    cv = yield from ctx.read(pi, v)
-    if cu < cv:
-        pcv = yield from ctx.read(pi, cv)
-        if pcv == cv:
-            ok = yield from ctx.cas(pi, cv, cv, cu)
-            if ok:
-                changed["flag"] = True
+    result = sv_pipeline_edges(
+        VectorizedBackend(), num_vertices, src, dst, track_depth=track_depth
+    )
+    result.algorithm = "sv"
+    result.backend = "vectorized"
+    return result
 
 
 def sv_simulated(
     graph: CSRGraph,
     machine: SimulatedMachine,
-) -> SVResult:
+) -> CCResult:
     """SV on the simulated parallel machine (instrumented).
+
+    .. deprecated:: 1.1
+        Equivalent to ``engine.run("sv", graph,
+        backend=SimulatedBackend(machine))``; prefer the engine call in
+        new code.  This shim is kept for backward compatibility.
 
     Phase labels: ``I`` init, then per iteration ``H<i>`` hook and ``S<i>``
     shortcut (Fig. 7a's repeating band structure).
     """
-    n = graph.num_vertices
-    pi = np.empty(n, dtype=VERTEX_DTYPE)
-    if n == 0:
-        return SVResult(labels=pi, iterations=0, edges_processed=0,
-                        run_stats=machine.stats)
-    src, dst = graph.edge_array()
-
-    def init_kernel(ctx, v, pi_):
-        yield from ctx.write(pi_, v, v)
-
-    machine.parallel_for(n, init_kernel, pi, phase="I")
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    edges = 0
-    while True:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(f"sv_simulated exceeded {cap} iterations")
-        changed = {"flag": False}
-        machine.parallel_for(
-            src.shape[0], _hook_kernel, pi, src, dst, changed,
-            phase=f"H{iterations}",
-        )
-        edges += int(src.shape[0])
-        machine.parallel_for(n, compress_kernel, pi, phase=f"S{iterations}")
-        if not changed["flag"]:
-            break
-    return SVResult(
-        labels=pi,
-        iterations=iterations,
-        edges_processed=edges,
-        run_stats=machine.stats,
-    )
+    return _engine_run("sv", graph, backend=SimulatedBackend(machine))

@@ -14,7 +14,7 @@ from typing import Callable
 
 import numpy as np
 
-import repro
+from repro import engine
 from repro.graph.csr import CSRGraph
 
 
@@ -76,11 +76,35 @@ def run_algorithm(
     repeats: int = 16,
     **kwargs,
 ) -> BenchmarkRecord:
-    """Benchmark one algorithm on one graph with the paper's protocol."""
-    med, p25, p75, samples = median_time(
-        lambda: repro.connected_components(graph, algorithm, **kwargs),
-        repeats=repeats,
-    )
+    """Benchmark one algorithm on one graph with the paper's protocol.
+
+    Dispatches through the engine registry; the first sample runs with
+    phase instrumentation enabled and its result populates
+    ``BenchmarkRecord.extra`` (component count, edge-work counters, and
+    ``phase_seconds`` — the per-phase wall-time breakdown printed by
+    ``python -m repro compare --profile``).
+    """
+    results: list[engine.CCResult] = []
+
+    def _sample() -> None:
+        # Only the first sample pays the (small) instrumentation cost; the
+        # remaining timed runs execute the bare pipeline.
+        results.append(
+            engine.run(algorithm, graph, profile=not results, **kwargs)
+        )
+
+    med, p25, p75, samples = median_time(_sample, repeats=repeats)
+    first = results[0]
+    extra: dict = {"num_components": first.num_components}
+    if first.edges_touched:
+        extra["edges_touched"] = first.edges_touched
+        extra["edges_skipped"] = first.edges_skipped
+    if first.edges_processed:
+        extra["edges_processed"] = first.edges_processed
+    if first.iterations:
+        extra["iterations"] = first.iterations
+    if first.phase_seconds:
+        extra["phase_seconds"] = dict(first.phase_seconds)
     return BenchmarkRecord(
         dataset=dataset,
         algorithm=algorithm,
@@ -88,4 +112,5 @@ def run_algorithm(
         p25_seconds=p25,
         p75_seconds=p75,
         samples=samples,
+        extra=extra,
     )

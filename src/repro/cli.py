@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 import repro
+from repro.engine import available_algorithms, get_algorithm
 from repro.errors import ReproError
 from repro.generators.datasets import DATASETS, SIZE_TIERS, load_dataset
 from repro.graph.csr import CSRGraph
@@ -71,6 +72,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    # Validate the name against the registry up front — a typo should fail
+    # before the (possibly expensive) graph load, not deep in dispatch.
+    get_algorithm(args.algorithm)
     graph = _resolve_graph(args.graph, args.seed)
     t0 = time.perf_counter()
     labels = repro.connected_components(graph, args.algorithm)
@@ -90,10 +94,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.bench.report import format_table
     from repro.bench.runner import run_algorithm
 
+    algorithms = [algo.strip() for algo in args.algorithms.split(",")]
+    # Validate every name against the registry up front — a typo should
+    # fail before the (possibly expensive) graph load and timing runs.
+    for algo in algorithms:
+        get_algorithm(algo)
     graph = _resolve_graph(args.graph, args.seed)
-    algorithms = args.algorithms.split(",")
     records = [
-        run_algorithm(graph, algo.strip(), args.graph, repeats=args.repeats)
+        run_algorithm(graph, algo, args.graph, repeats=args.repeats)
         for algo in algorithms
     ]
     baseline = records[0]
@@ -103,7 +111,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             round(rec.median_seconds * 1000, 3),
             round(rec.p25_seconds * 1000, 3),
             round(rec.p75_seconds * 1000, 3),
-            round(baseline.median_seconds / rec.median_seconds, 2),
+            round(rec.speedup_over(baseline), 2),
         ]
         for rec in records
     ]
@@ -114,7 +122,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.profile:
+        for rec in records:
+            _print_profile(rec)
     return 0
+
+
+def _print_profile(rec) -> None:
+    """Print one record's per-phase wall-time breakdown, if it has one."""
+    phases = rec.extra.get("phase_seconds")
+    if not phases:
+        print(f"\n{rec.algorithm}: no phase breakdown recorded")
+        return
+    total = sum(phases.values()) or 1.0
+    print(f"\n{rec.algorithm} phase breakdown (first sample):")
+    for label, secs in phases.items():
+        print(f"  {label:<10} {secs * 1000:10.3f} ms  {secs / total:6.1%}")
+    counters = {
+        k: v
+        for k, v in rec.extra.items()
+        if k != "phase_seconds" and isinstance(v, (int, float))
+    }
+    if counters:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"  counters: {parts}")
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -145,9 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.set_defaults(fn=_cmd_info)
 
+    # Enumerated from the registry so `--help` always lists exactly the
+    # algorithms that will resolve (including any registered extensions).
+    algo_names = ", ".join(available_algorithms())
+
     p = sub.add_parser("solve", help="compute connected components")
     p.add_argument("graph")
-    p.add_argument("--algorithm", default="afforest")
+    p.add_argument(
+        "--algorithm",
+        default="afforest",
+        help=f"registered algorithm name (one of: {algo_names})",
+    )
     p.add_argument("--output", help="write labels to an .npz file")
     p.set_defaults(fn=_cmd_solve)
 
@@ -155,9 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument(
         "--algorithms", default="afforest,sv,lp,bfs,dobfs",
-        help="comma-separated algorithm names",
+        help=f"comma-separated algorithm names (from: {algo_names})",
     )
     p.add_argument("--repeats", type=int, default=7)
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print each algorithm's per-phase wall-time breakdown",
+    )
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("convert", help="translate between graph file formats")

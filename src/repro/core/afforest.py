@@ -1,4 +1,4 @@
-"""The Afforest algorithm (paper Fig. 5).
+"""The Afforest algorithm (paper Fig. 5) — engine entry points.
 
 Pipeline:
 
@@ -15,125 +15,33 @@ Pipeline:
    reachable from the non-skipped endpoint;
 5. final compress: π becomes the component labeling.
 
-Two drivers share this structure: :func:`afforest` (vectorized batch
-kernels, wall-clock benchmarks) and :func:`afforest_simulated` (generator
-kernels on the :class:`~repro.parallel.machine.SimulatedMachine`,
-instrumented for traces and work/span accounting).
+The pipeline itself is implemented exactly once, in
+:func:`repro.engine.pipelines.afforest_pipeline`, against the
+:class:`~repro.engine.backends.ExecutionBackend` primitives; the two
+functions here are the stable entry points selecting the substrate:
+:func:`afforest` (vectorized batch kernels, wall-clock benchmarks) and
+:func:`afforest_simulated` (generator kernels on the
+:class:`~repro.parallel.machine.SimulatedMachine`, instrumented for
+traces and work/span accounting).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator
-
-import numpy as np
-
 from repro.constants import (
     DEFAULT_NEIGHBOR_ROUNDS,
     DEFAULT_SKIP_SAMPLE_SIZE,
-    VERTEX_DTYPE,
 )
-from repro.core.compress import compress_all, compress_kernel
-from repro.core.link import link_batch, link_kernel
-from repro.core.sampling import approximate_largest_label
-from repro.errors import ConfigurationError
+
+# Only the leaf result module is imported eagerly: this module is pulled in
+# by ``repro.core.__init__``, which the engine's backends import for the
+# compress/link kernels — importing ``repro.engine`` itself here would
+# close that cycle, so the engine entry points are resolved at call time.
+from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.nputil import segment_ranges
-from repro.parallel.machine import KernelContext, SimulatedMachine
-from repro.parallel.metrics import RunStats
+from repro.parallel.machine import SimulatedMachine
 
-
-@dataclass
-class AfforestResult:
-    """Outcome of an Afforest run.
-
-    ``labels`` is the exact component labeling (root ids).  The counters
-    quantify the work-efficiency claims: ``edges_sampled`` were processed in
-    neighbour rounds, ``edges_final`` in the final phase, and
-    ``edges_skipped`` were never touched thanks to component skipping.
-    """
-
-    labels: np.ndarray
-    neighbor_rounds: int
-    largest_label: int | None
-    edges_sampled: int = 0
-    edges_final: int = 0
-    edges_skipped: int = 0
-    link_rounds: list[int] = field(default_factory=list)
-    compress_passes: list[int] = field(default_factory=list)
-    run_stats: RunStats | None = None
-    #: phase label -> wall seconds, populated when profile=True.
-    phase_seconds: dict = field(default_factory=dict)
-
-    @property
-    def num_components(self) -> int:
-        return int(np.unique(self.labels).shape[0])
-
-    @property
-    def edges_touched(self) -> int:
-        """Directed edge slots examined by link phases."""
-        return self.edges_sampled + self.edges_final
-
-    @property
-    def skip_fraction(self) -> float:
-        """Fraction of final-phase edge slots avoided by skipping."""
-        denom = self.edges_final + self.edges_skipped
-        return self.edges_skipped / denom if denom else 0.0
-
-
-def _check_rounds(neighbor_rounds: int) -> None:
-    if neighbor_rounds < 0:
-        raise ConfigurationError(
-            f"neighbor_rounds must be >= 0, got {neighbor_rounds}"
-        )
-
-
-def _round_edges(
-    graph: CSRGraph, r: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Edge batch of neighbour round ``r``: ``(v, N(v)[r])`` for every
-    vertex with degree > r."""
-    deg = np.asarray(graph.degree())
-    verts = np.nonzero(deg > r)[0].astype(VERTEX_DTYPE)
-    nbrs = graph.indices[graph.indptr[verts] + r]
-    return verts, nbrs
-
-
-def _random_round_edges(
-    graph: CSRGraph, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
-    """One *random* neighbour per vertex (with replacement across rounds).
-
-    The alternative sampling the paper weighs in Sec. VI-A before choosing
-    first-``k``: statistically equivalent coverage, but the sampled slots
-    cannot be tracked, so the final phase must reprocess every slot.
-    """
-    deg = np.asarray(graph.degree())
-    verts = np.nonzero(deg > 0)[0].astype(VERTEX_DTYPE)
-    offsets = rng.integers(0, deg[verts])
-    nbrs = graph.indices[graph.indptr[verts] + offsets]
-    return verts, nbrs
-
-
-def _remaining_edges(
-    graph: CSRGraph, verts: np.ndarray, start: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """All edge slots ``start..deg(v)-1`` of the given vertices, flattened."""
-    indptr, indices = graph.indptr, graph.indices
-    counts = indptr[verts + 1] - indptr[verts] - start
-    counts = np.maximum(counts, 0)
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=VERTEX_DTYPE)
-        return empty, empty
-    src = np.repeat(verts, counts)
-    offsets = np.repeat(indptr[verts] + start, counts) + segment_ranges(counts)
-    return src, indices[offsets]
-
-
-# --------------------------------------------------------------------- #
-# vectorized driver
-# --------------------------------------------------------------------- #
+#: Back-compat alias — Afforest runs return the unified engine record.
+AfforestResult = CCResult
 
 
 def afforest(
@@ -145,7 +53,7 @@ def afforest(
     seed: int = 0,
     sampling: str = "first",
     profile: bool = False,
-) -> AfforestResult:
+) -> CCResult:
     """Run Afforest (vectorized) and return the exact CC labeling.
 
     Parameters
@@ -171,150 +79,18 @@ def afforest(
         Record per-phase wall seconds into ``result.phase_seconds``
         (labels match the simulated driver: L<r>/C<r>/F/H/C*).
     """
-    import time as _time
-    _check_rounds(neighbor_rounds)
-    if sampling not in ("first", "random"):
-        raise ConfigurationError(
-            f"sampling must be 'first' or 'random', got {sampling!r}"
-        )
-    n = graph.num_vertices
-    pi = np.arange(n, dtype=VERTEX_DTYPE)
-    result = AfforestResult(
-        labels=pi, neighbor_rounds=neighbor_rounds, largest_label=None
+    from repro import engine
+
+    return engine.run(
+        "afforest",
+        graph,
+        profile=profile,
+        neighbor_rounds=neighbor_rounds,
+        skip_largest=skip_largest,
+        sample_size=sample_size,
+        seed=seed,
+        sampling=sampling,
     )
-    if n == 0:
-        return result
-
-    def timed(label, fn):
-        if not profile:
-            return fn()
-        t0 = _time.perf_counter()
-        out = fn()
-        result.phase_seconds[label] = (
-            result.phase_seconds.get(label, 0.0)
-            + _time.perf_counter() - t0
-        )
-        return out
-
-    rng = np.random.default_rng(seed)
-    for r in range(neighbor_rounds):
-        if sampling == "first":
-            src, dst = _round_edges(graph, r)
-        else:
-            src, dst = _random_round_edges(graph, rng)
-        result.edges_sampled += int(src.shape[0])
-        result.link_rounds.append(
-            timed(f"L{r}", lambda: link_batch(pi, src, dst))
-        )
-        result.compress_passes.append(
-            timed(f"C{r}", lambda: compress_all(pi))
-        )
-
-    # Random sampling cannot mark which slots were consumed, so the final
-    # phase starts from slot 0 (reprocessing); first-k sampling resumes at
-    # slot neighbor_rounds.
-    final_start = neighbor_rounds if sampling == "first" else 0
-
-    if skip_largest:
-        c = timed(
-            "F",
-            lambda: approximate_largest_label(pi, sample_size, rng=rng),
-        )
-        result.largest_label = c
-        verts = np.nonzero(pi != c)[0].astype(VERTEX_DTYPE)
-        deg = np.asarray(graph.degree())
-        skipped_verts = np.nonzero(pi == c)[0]
-        result.edges_skipped = int(
-            np.maximum(deg[skipped_verts] - final_start, 0).sum()
-        )
-    else:
-        verts = np.arange(n, dtype=VERTEX_DTYPE)
-
-    src, dst = timed(
-        "H-gather", lambda: _remaining_edges(graph, verts, final_start)
-    )
-    result.edges_final = int(src.shape[0])
-    result.link_rounds.append(timed("H", lambda: link_batch(pi, src, dst)))
-    result.compress_passes.append(timed("C*", lambda: compress_all(pi)))
-    result.labels = pi
-    return result
-
-
-# --------------------------------------------------------------------- #
-# simulated-machine driver
-# --------------------------------------------------------------------- #
-
-
-def _init_kernel(
-    ctx: KernelContext, v: int, pi: np.ndarray
-) -> Generator[None, None, None]:
-    """Initialisation phase: ``pi[v] <- v`` (one shared write per vertex)."""
-    yield from ctx.write(pi, v, v)
-
-
-def _neighbor_link_kernel(
-    ctx: KernelContext,
-    v: int,
-    pi: np.ndarray,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    r: int,
-) -> Generator[None, None, None]:
-    """Neighbour-round kernel: link ``(v, N(v)[r])`` when degree permits.
-
-    Graph-structure reads are not preemption points — only π is shared
-    mutable state; the CSR arrays are immutable.
-    """
-    lo = int(indptr[v])
-    if lo + r >= int(indptr[v + 1]):
-        return
-    w = int(indices[lo + r])
-    yield from _link_pair(ctx, pi, v, w)
-
-
-def _link_pair(
-    ctx: KernelContext, pi: np.ndarray, u: int, v: int
-) -> Generator[None, None, None]:
-    """Shared concurrent-link body (same loop as link_kernel)."""
-    fake_src = (u,)
-    fake_dst = (v,)
-    yield from link_kernel(ctx, 0, pi, fake_src, fake_dst)
-
-
-def _probe_kernel(
-    ctx: KernelContext,
-    i: int,
-    pi: np.ndarray,
-    probes: np.ndarray,
-    out: np.ndarray,
-) -> Generator[None, None, None]:
-    """Component-search phase: read π at one random probe position."""
-    out[i] = yield from ctx.read(pi, int(probes[i]))
-
-
-def _final_link_kernel(
-    ctx: KernelContext,
-    v: int,
-    pi: np.ndarray,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    start: int,
-    largest: int | None,
-    counters: dict,
-) -> Generator[None, None, None]:
-    """Final phase kernel: skip check then link remaining neighbours."""
-    if largest is not None:
-        label = yield from ctx.read(pi, v)
-        if label == largest:
-            counters["skipped"] += max(
-                int(indptr[v + 1]) - int(indptr[v]) - start, 0
-            )
-            return
-    lo = int(indptr[v]) + start
-    hi = int(indptr[v + 1])
-    for e in range(lo, hi):
-        counters["final"] += 1
-        yield from _link_pair(ctx, pi, v, int(indices[e]))
 
 
 def afforest_simulated(
@@ -325,8 +101,13 @@ def afforest_simulated(
     skip_largest: bool = True,
     sample_size: int = DEFAULT_SKIP_SAMPLE_SIZE,
     seed: int = 0,
-) -> AfforestResult:
+) -> CCResult:
     """Run Afforest on the simulated parallel machine.
+
+    .. deprecated:: 1.1
+        Equivalent to ``engine.run("afforest", graph,
+        backend=SimulatedBackend(machine), ...)``; prefer the engine call
+        in new code.  This shim is kept for backward compatibility.
 
     Semantically identical to :func:`afforest` but executed concurrently by
     the machine's workers with per-operation interleaving, producing
@@ -337,55 +118,15 @@ def afforest_simulated(
     ``C`` compress, ``F`` find-largest, ``H`` final link ("hook"), ``C*``
     final compress.
     """
-    _check_rounds(neighbor_rounds)
-    n = graph.num_vertices
-    pi = np.empty(n, dtype=VERTEX_DTYPE)
-    indptr, indices = graph.indptr, graph.indices
-    result = AfforestResult(
-        labels=pi, neighbor_rounds=neighbor_rounds, largest_label=None
+    from repro import engine
+    from repro.engine.backends import SimulatedBackend
+
+    return engine.run(
+        "afforest",
+        graph,
+        backend=SimulatedBackend(machine),
+        neighbor_rounds=neighbor_rounds,
+        skip_largest=skip_largest,
+        sample_size=sample_size,
+        seed=seed,
     )
-    if n == 0:
-        result.run_stats = machine.stats
-        return result
-
-    machine.parallel_for(n, _init_kernel, pi, phase="I")
-
-    for r in range(neighbor_rounds):
-        result.edges_sampled += int(
-            np.count_nonzero(np.asarray(graph.degree()) > r)
-        )
-        machine.parallel_for(
-            n, _neighbor_link_kernel, pi, indptr, indices, r, phase=f"L{r}"
-        )
-        machine.parallel_for(n, compress_kernel, pi, phase=f"C{r}")
-
-    rng = np.random.default_rng(seed)
-    largest: int | None = None
-    if skip_largest:
-        probes = rng.integers(0, n, size=min(sample_size, max(n, 1)))
-        out = np.empty(probes.shape[0], dtype=VERTEX_DTYPE)
-        machine.parallel_for(
-            probes.shape[0], _probe_kernel, pi, probes, out, phase="F"
-        )
-        uniq, counts = np.unique(out, return_counts=True)
-        largest = int(uniq[np.argmax(counts)])
-        result.largest_label = largest
-
-    counters = {"skipped": 0, "final": 0}
-    machine.parallel_for(
-        n,
-        _final_link_kernel,
-        pi,
-        indptr,
-        indices,
-        neighbor_rounds,
-        largest,
-        counters,
-        phase="H",
-    )
-    result.edges_final = counters["final"]
-    result.edges_skipped = counters["skipped"]
-    machine.parallel_for(n, compress_kernel, pi, phase="C*")
-    result.labels = pi
-    result.run_stats = machine.stats
-    return result

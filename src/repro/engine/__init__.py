@@ -1,0 +1,121 @@
+"""The unified connectivity engine: one dispatch path for every algorithm.
+
+The engine ties four pieces together:
+
+- the **algorithm registry** (:mod:`~repro.engine.registry`) — every CC
+  algorithm is registered once with metadata (description, default
+  parameters, supported backends) and resolved by name here, by
+  ``repro.connected_components``, by the CLI, and by the benchmark
+  harness;
+- the unified **result record** (:class:`~repro.engine.result.CCResult`)
+  that every algorithm returns;
+- pluggable **execution backends**
+  (:class:`~repro.engine.backends.VectorizedBackend` for NumPy batch
+  kernels, :class:`~repro.engine.backends.SimulatedBackend` for the
+  simulated parallel machine) against which the Afforest and
+  Shiloach–Vishkin pipelines are written exactly once;
+- uniform **instrumentation**
+  (:class:`~repro.engine.instrumentation.Instrumentation`) so any
+  profiled run yields a per-phase wall-time breakdown.
+
+Usage::
+
+    from repro import engine
+
+    result = engine.run("afforest", g, neighbor_rounds=2)
+    result = engine.run("sv", g, backend=engine.SimulatedBackend(machine))
+    engine.available_algorithms()   # ['afforest', 'afforest-noskip', ...]
+
+Adding an algorithm::
+
+    from repro.engine import CCResult, register
+
+    @register("mycc", description="my algorithm")
+    def _run_mycc(graph, backend, **params):
+        return CCResult(labels=my_labels(graph, **params))
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    SimulatedBackend,
+    VectorizedBackend,
+)
+from repro.engine.instrumentation import Instrumentation
+from repro.engine.pipelines import afforest_pipeline, sv_pipeline, sv_pipeline_edges
+from repro.engine.registry import (
+    AlgorithmSpec,
+    available_algorithms,
+    describe_algorithms,
+    get_algorithm,
+    register,
+)
+from repro.engine.result import CCResult
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "run",
+    "register",
+    "get_algorithm",
+    "available_algorithms",
+    "describe_algorithms",
+    "AlgorithmSpec",
+    "CCResult",
+    "Instrumentation",
+    "ExecutionBackend",
+    "VectorizedBackend",
+    "SimulatedBackend",
+    "afforest_pipeline",
+    "sv_pipeline",
+    "sv_pipeline_edges",
+]
+
+
+def run(
+    name: str,
+    graph: CSRGraph,
+    *,
+    backend: ExecutionBackend | None = None,
+    profile: bool = False,
+    **params,
+) -> CCResult:
+    """Run registered algorithm ``name`` on ``graph`` and return its result.
+
+    ``backend`` selects the execution substrate (default: a fresh
+    :class:`~repro.engine.backends.VectorizedBackend`); the algorithm must
+    list the backend's kind in its registry metadata.  ``profile=True``
+    records per-phase wall seconds into ``result.phase_seconds`` —
+    algorithms without native phase instrumentation report a single
+    ``total`` phase.  Remaining keyword arguments override the
+    algorithm's registered defaults and are forwarded to its pipeline.
+    """
+    spec = get_algorithm(name)
+    if backend is None:
+        backend = VectorizedBackend()
+    if not spec.supports_backend(backend.kind):
+        raise ConfigurationError(
+            f"algorithm {name!r} does not support the {backend.kind!r} "
+            f"backend; supported: {list(spec.backends)}"
+        )
+    merged = {**spec.defaults, **params}
+    instr = Instrumentation(enabled=profile)
+    backend.bind(instr)
+    try:
+        if profile and not spec.instrumented:
+            with instr.timer("total"):
+                result = spec.fn(graph, backend, **merged)
+        else:
+            result = spec.fn(graph, backend, **merged)
+    finally:
+        # Leave shared/reused backends with a clean disabled recorder.
+        backend.bind(Instrumentation(False))
+    result.algorithm = name
+    result.backend = backend.kind
+    result.params = dict(merged)
+    if profile:
+        result.phase_seconds = instr.seconds
+        if instr.counters:
+            result.counters.update(instr.counters)
+    return result

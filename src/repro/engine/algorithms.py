@@ -1,0 +1,142 @@
+"""Built-in algorithm registrations.
+
+Imported lazily by the registry on first lookup.  Each entry binds a
+registry name to its engine entry point with metadata: a one-line
+description, default parameters, and the execution backends it supports.
+Afforest and Shiloach–Vishkin dispatch to the backend-agnostic pipelines
+in :mod:`repro.engine.pipelines`; the remaining algorithms wrap their
+vectorized implementations (which all return the unified
+:class:`~repro.engine.result.CCResult`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bfs_cc import bfs_cc
+from repro.baselines.dobfs_cc import dobfs_cc
+from repro.baselines.label_propagation import (
+    label_propagation,
+    label_propagation_datadriven,
+)
+from repro.distributed.dist_cc import distributed_components
+from repro.engine.backends import ExecutionBackend
+from repro.engine.pipelines import afforest_pipeline, sv_pipeline
+from repro.engine.registry import register
+from repro.engine.result import CCResult
+from repro.graph.csr import CSRGraph
+from repro.unionfind.sequential import sequential_components
+
+BOTH_BACKENDS = ("vectorized", "simulated")
+
+
+@register(
+    "afforest",
+    description="Afforest: neighbour-round sampling + component skipping "
+    "(the paper's algorithm, Fig. 5)",
+    backends=BOTH_BACKENDS,
+    instrumented=True,
+)
+def _run_afforest(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for Afforest."""
+    return afforest_pipeline(graph, backend, **params)
+
+
+@register(
+    "afforest-noskip",
+    description="Afforest with large-component skipping disabled "
+    "(the 'no skip' configuration of Figs. 7b/8b)",
+    defaults={"skip_largest": False},
+    backends=BOTH_BACKENDS,
+    instrumented=True,
+)
+def _run_afforest_noskip(
+    graph: CSRGraph, backend: ExecutionBackend, **params
+) -> CCResult:
+    """Engine entry point for Afforest without skipping."""
+    return afforest_pipeline(graph, backend, **params)
+
+
+@register(
+    "sv",
+    description="Shiloach-Vishkin tree hooking (GAP formulation): "
+    "hook + shortcut over every edge per iteration",
+    backends=BOTH_BACKENDS,
+    instrumented=True,
+)
+def _run_sv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for Shiloach–Vishkin."""
+    return sv_pipeline(graph, backend, **params)
+
+
+@register(
+    "lp",
+    description="synchronous min-label propagation (O(D*|E|) work)",
+)
+def _run_lp(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for synchronous label propagation."""
+    return label_propagation(graph, **params)
+
+
+@register(
+    "lp-datadriven",
+    description="data-driven (frontier) min-label propagation",
+)
+def _run_lp_datadriven(
+    graph: CSRGraph, backend: ExecutionBackend, **params
+) -> CCResult:
+    """Engine entry point for frontier label propagation."""
+    return label_propagation_datadriven(graph, **params)
+
+
+@register(
+    "bfs",
+    description="per-component parallel BFS (linear work, serial over "
+    "components)",
+)
+def _run_bfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for BFS-CC."""
+    return bfs_cc(graph, **params)
+
+
+@register(
+    "dobfs",
+    description="direction-optimizing BFS (Beamer et al.): top-down / "
+    "bottom-up switching",
+)
+def _run_dobfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for DOBFS-CC."""
+    return dobfs_cc(graph, **params)
+
+
+@register(
+    "distributed",
+    description="distributed forest reduction over a simulated "
+    "communicator (local Afforest + log2(R) merge supersteps)",
+)
+def _run_distributed(
+    graph: CSRGraph, backend: ExecutionBackend, **params
+) -> CCResult:
+    """Engine entry point for distributed CC (converts DistCCResult)."""
+    res = distributed_components(graph, **params)
+    return CCResult(
+        labels=res.labels,
+        counters={
+            "num_ranks": res.num_ranks,
+            "merge_rounds": res.merge_rounds,
+            "bytes_sent": res.comm_stats.bytes_sent,
+            "messages": res.comm_stats.messages,
+        },
+    )
+
+
+@register(
+    "sequential",
+    description="sequential union-find reference (exact, single-threaded)",
+)
+def _run_sequential(
+    graph: CSRGraph, backend: ExecutionBackend, **params
+) -> CCResult:
+    """Engine entry point for the sequential union-find reference."""
+    labels = np.asarray(sequential_components(graph, **params))
+    return CCResult(labels=labels)

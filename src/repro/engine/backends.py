@@ -1,0 +1,493 @@
+"""Pluggable execution backends for the connectivity engine.
+
+The paper's pipelines are built from a small set of primitives — link an
+edge batch, compress the parent array, probe π for the giant component,
+hook-and-shortcut — that admit two execution substrates:
+
+- :class:`VectorizedBackend` — NumPy batch kernels
+  (:func:`~repro.core.link.link_batch`,
+  :func:`~repro.core.compress.compress_all`); the wall-clock performance
+  implementation;
+- :class:`SimulatedBackend` — generator kernels on a
+  :class:`~repro.parallel.machine.SimulatedMachine`, with a preemption
+  point before every shared access; the instrumented concurrent-semantics
+  implementation that produces work/span statistics and memory traces.
+
+Each pipeline in :mod:`repro.engine.pipelines` is written *once* against
+:class:`ExecutionBackend`; choosing the substrate is a constructor
+argument, not a separate code path.  Backend methods wrap their work in
+the bound :class:`~repro.engine.instrumentation.Instrumentation` timers,
+so profiled runs get a per-phase wall-time breakdown on either substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.compress import compress_all, compress_kernel
+from repro.core.link import link_batch, link_kernel
+from repro.core.sampling import approximate_largest_label
+from repro.engine.instrumentation import Instrumentation
+from repro.graph.csr import CSRGraph
+from repro.nputil import segment_ranges
+from repro.parallel.machine import KernelContext, SimulatedMachine
+from repro.parallel.metrics import RunStats
+
+__all__ = ["ExecutionBackend", "VectorizedBackend", "SimulatedBackend"]
+
+
+# --------------------------------------------------------------------- #
+# vectorized edge-batch helpers
+# --------------------------------------------------------------------- #
+
+
+def round_edges(graph: CSRGraph, r: int) -> tuple[np.ndarray, np.ndarray]:
+    """Edge batch of neighbour round ``r``: ``(v, N(v)[r])`` for every
+    vertex with degree > r."""
+    deg = np.asarray(graph.degree())
+    verts = np.nonzero(deg > r)[0].astype(VERTEX_DTYPE)
+    nbrs = graph.indices[graph.indptr[verts] + r]
+    return verts, nbrs
+
+
+def remaining_edges(
+    graph: CSRGraph, verts: np.ndarray, start: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All edge slots ``start..deg(v)-1`` of the given vertices, flattened."""
+    indptr, indices = graph.indptr, graph.indices
+    counts = indptr[verts + 1] - indptr[verts] - start
+    counts = np.maximum(counts, 0)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return empty, empty
+    src = np.repeat(verts, counts)
+    offsets = np.repeat(indptr[verts] + start, counts) + segment_ranges(counts)
+    return src, indices[offsets]
+
+
+# --------------------------------------------------------------------- #
+# simulated-machine kernels
+# --------------------------------------------------------------------- #
+
+
+def _init_kernel(
+    ctx: KernelContext, v: int, pi: np.ndarray
+) -> Generator[None, None, None]:
+    """Initialisation phase: ``pi[v] <- v`` (one shared write per vertex)."""
+    yield from ctx.write(pi, v, v)
+
+
+def _link_pair(
+    ctx: KernelContext, pi: np.ndarray, u: int, v: int
+) -> Generator[None, None, None]:
+    """Shared concurrent-link body (same loop as link_kernel)."""
+    fake_src = (u,)
+    fake_dst = (v,)
+    yield from link_kernel(ctx, 0, pi, fake_src, fake_dst)
+
+
+def _neighbor_link_kernel(
+    ctx: KernelContext,
+    v: int,
+    pi: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    r: int,
+) -> Generator[None, None, None]:
+    """Neighbour-round kernel: link ``(v, N(v)[r])`` when degree permits.
+
+    Graph-structure reads are not preemption points — only π is shared
+    mutable state; the CSR arrays are immutable.
+    """
+    lo = int(indptr[v])
+    if lo + r >= int(indptr[v + 1]):
+        return
+    w = int(indices[lo + r])
+    yield from _link_pair(ctx, pi, v, w)
+
+
+def _probe_kernel(
+    ctx: KernelContext,
+    i: int,
+    pi: np.ndarray,
+    probes: np.ndarray,
+    out: np.ndarray,
+) -> Generator[None, None, None]:
+    """Component-search phase: read π at one random probe position."""
+    out[i] = yield from ctx.read(pi, int(probes[i]))
+
+
+def _final_link_kernel(
+    ctx: KernelContext,
+    v: int,
+    pi: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start: int,
+    largest: int | None,
+    counters: dict,
+) -> Generator[None, None, None]:
+    """Final phase kernel: skip check then link remaining neighbours."""
+    if largest is not None:
+        label = yield from ctx.read(pi, v)
+        if label == largest:
+            counters["skipped"] += max(
+                int(indptr[v + 1]) - int(indptr[v]) - start, 0
+            )
+            return
+    lo = int(indptr[v]) + start
+    hi = int(indptr[v + 1])
+    for e in range(lo, hi):
+        counters["final"] += 1
+        yield from _link_pair(ctx, pi, v, int(indices[e]))
+
+
+def _hook_kernel(
+    ctx: KernelContext,
+    e: int,
+    pi: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    changed: dict,
+) -> Generator[None, None, None]:
+    """SV hook for one directed edge, concurrent semantics.
+
+    The hook is the Fig. 1 line-8 assignment ``π(π(v)) <- π(u)`` guarded to
+    roots and performed with CAS; losers simply retry next outer iteration,
+    as in the original algorithm.
+    """
+    u = int(src[e])
+    v = int(dst[e])
+    cu = yield from ctx.read(pi, u)
+    cv = yield from ctx.read(pi, v)
+    if cu < cv:
+        pcv = yield from ctx.read(pi, cv)
+        if pcv == cv:
+            ok = yield from ctx.cas(pi, cv, cv, cu)
+            if ok:
+                changed["flag"] = True
+
+
+def _shortcut_kernel(
+    ctx: KernelContext, v: int, pi: np.ndarray
+) -> Generator[None, None, None]:
+    """One single-step shortcut: ``pi[v] <- pi[pi[v]]`` (no fixpoint loop)."""
+    parent = yield from ctx.read(pi, v)
+    grand = yield from ctx.read(pi, parent)
+    if grand != parent:
+        yield from ctx.write(pi, v, grand)
+
+
+# --------------------------------------------------------------------- #
+# backend interface
+# --------------------------------------------------------------------- #
+
+
+class ExecutionBackend:
+    """Primitive operations a connectivity pipeline is written against.
+
+    Subclasses implement the primitives on a concrete substrate.  Methods
+    that have a meaningful convergence statistic on the vectorized
+    substrate (rounds of ``link_batch``, passes of ``compress_all``)
+    return it; substrates without such a notion return ``None`` and the
+    pipeline skips the bookkeeping.
+    """
+
+    #: registry-facing backend kind ("vectorized" / "simulated").
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self.instr = Instrumentation(False)
+
+    def bind(self, instr: Instrumentation) -> None:
+        """Attach the per-run instrumentation (done by ``engine.run``)."""
+        self.instr = instr
+
+    # -- primitives ------------------------------------------------------ #
+
+    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
+        """Fresh self-pointing parent array of ``n`` vertices."""
+        raise NotImplementedError
+
+    def link_edges(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> int | None:
+        """Link every edge of the batch into π."""
+        raise NotImplementedError
+
+    def link_neighbor_round(
+        self, pi: np.ndarray, graph: CSRGraph, r: int, *, phase: str
+    ) -> int | None:
+        """Link ``(v, N(v)[r])`` for every vertex with degree > r."""
+        raise NotImplementedError
+
+    def link_remaining(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        start: int,
+        largest: int | None,
+        *,
+        phase: str,
+    ) -> tuple[int, int, int | None]:
+        """Afforest final phase: link slots ``start..`` of every vertex not
+        in the ``largest`` component; returns (edges linked, edges skipped,
+        link rounds or None)."""
+        raise NotImplementedError
+
+    def compress(self, pi: np.ndarray, *, phase: str) -> int | None:
+        """Compress every tree in π to depth one."""
+        raise NotImplementedError
+
+    def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
+        """A single ``pi <- pi[pi]`` shortcut step (no fixpoint loop)."""
+        raise NotImplementedError
+
+    def find_largest(
+        self,
+        pi: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        *,
+        phase: str,
+    ) -> int:
+        """Probable giant-component label from ``sample_size`` π probes."""
+        raise NotImplementedError
+
+    def hook_pass(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> bool:
+        """One Shiloach–Vishkin hook pass; True if any parent changed."""
+        raise NotImplementedError
+
+    def run_stats(self) -> RunStats | None:
+        """Work/span statistics of the substrate, when it collects any."""
+        return None
+
+
+class VectorizedBackend(ExecutionBackend):
+    """NumPy batch-kernel substrate: the wall-clock performance path.
+
+    Links resolve conflicts by scatter-min (the batch analogue of "the
+    CAS writing the smallest label wins"), compression is pointer
+    doubling, and the giant-component search reads π directly.
+    """
+
+    kind = "vectorized"
+
+    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
+        """Identity parent array (no timed phase: a single ``arange``)."""
+        return np.arange(n, dtype=VERTEX_DTYPE)
+
+    def link_edges(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> int:
+        """Batch link; returns the number of link rounds executed."""
+        with self.instr.timer(phase):
+            return link_batch(pi, src, dst)
+
+    def link_neighbor_round(
+        self, pi: np.ndarray, graph: CSRGraph, r: int, *, phase: str
+    ) -> int:
+        """Gather round-``r`` neighbour slots, then batch-link them."""
+        src, dst = round_edges(graph, r)
+        with self.instr.timer(phase):
+            return link_batch(pi, src, dst)
+
+    def link_remaining(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        start: int,
+        largest: int | None,
+        *,
+        phase: str,
+    ) -> tuple[int, int, int]:
+        """Gather the non-skipped remaining slots and batch-link them.
+
+        Skipped work is computed analytically from the degrees of the
+        giant component's vertices — those slots are never materialised.
+        """
+        if largest is not None:
+            verts = np.nonzero(pi != largest)[0].astype(VERTEX_DTYPE)
+            deg = np.asarray(graph.degree())
+            skipped_verts = np.nonzero(pi == largest)[0]
+            skipped = int(np.maximum(deg[skipped_verts] - start, 0).sum())
+        else:
+            verts = np.arange(pi.shape[0], dtype=VERTEX_DTYPE)
+            skipped = 0
+        with self.instr.timer(f"{phase}-gather"):
+            src, dst = remaining_edges(graph, verts, start)
+        with self.instr.timer(phase):
+            rounds = link_batch(pi, src, dst)
+        return int(src.shape[0]), skipped, rounds
+
+    def compress(self, pi: np.ndarray, *, phase: str) -> int:
+        """Pointer-doubling compression; returns the pass count."""
+        with self.instr.timer(phase):
+            return compress_all(pi)
+
+    def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
+        """The original SV single shortcut: ``pi <- pi[pi]`` once."""
+        with self.instr.timer(phase):
+            pi[:] = pi[pi]
+
+    def find_largest(
+        self,
+        pi: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        *,
+        phase: str,
+    ) -> int:
+        """Mode of ``sample_size`` direct probes of π."""
+        with self.instr.timer(phase):
+            return approximate_largest_label(pi, sample_size, rng=rng)
+
+    def hook_pass(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> bool:
+        """One vectorized hook pass; True if any parent changed.
+
+        Conflicting hooks onto the same root resolve by scatter-min — the
+        batch analogue of "one competing edge's write wins per iteration"
+        (Fig. 1 commentary), biased to the smallest label exactly like the
+        CAS variant.
+        """
+        with self.instr.timer(phase):
+            cu = pi[src]
+            cv = pi[dst]
+            mask = (cu < cv) & (pi[cv] == cv)
+            if not mask.any():
+                return False
+            np.minimum.at(pi, cv[mask], cu[mask])
+            return True
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Simulated-machine substrate: concurrent semantics, instrumented.
+
+    Every primitive is a ``parallel_for`` of generator kernels on the
+    wrapped :class:`~repro.parallel.machine.SimulatedMachine`; shared
+    accesses are preemption points, CAS conflicts are real, and the
+    machine accumulates per-phase work/span statistics (``machine.stats``)
+    plus an optional memory trace.
+    """
+
+    kind = "simulated"
+
+    def __init__(self, machine: SimulatedMachine) -> None:
+        super().__init__()
+        self.machine = machine
+
+    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
+        """Init phase ``I``: every vertex writes its own π slot."""
+        pi = np.empty(n, dtype=VERTEX_DTYPE)
+        with self.instr.timer(phase):
+            self.machine.parallel_for(n, _init_kernel, pi, phase=phase)
+        return pi
+
+    def link_edges(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> None:
+        """Concurrent link of the batch, one kernel per edge."""
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                int(src.shape[0]), link_kernel, pi, src, dst, phase=phase
+            )
+        return None
+
+    def link_neighbor_round(
+        self, pi: np.ndarray, graph: CSRGraph, r: int, *, phase: str
+    ) -> None:
+        """Concurrent neighbour round, one kernel per vertex."""
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                pi.shape[0],
+                _neighbor_link_kernel,
+                pi,
+                graph.indptr,
+                graph.indices,
+                r,
+                phase=phase,
+            )
+        return None
+
+    def link_remaining(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        start: int,
+        largest: int | None,
+        *,
+        phase: str,
+    ) -> tuple[int, int, None]:
+        """Concurrent final phase with the per-vertex skip check."""
+        counters = {"skipped": 0, "final": 0}
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                pi.shape[0],
+                _final_link_kernel,
+                pi,
+                graph.indptr,
+                graph.indices,
+                start,
+                largest,
+                counters,
+                phase=phase,
+            )
+        return counters["final"], counters["skipped"], None
+
+    def compress(self, pi: np.ndarray, *, phase: str) -> None:
+        """Concurrent per-vertex compression to the root."""
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                pi.shape[0], compress_kernel, pi, phase=phase
+            )
+        return None
+
+    def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
+        """Concurrent single-step shortcut of every vertex."""
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                pi.shape[0], _shortcut_kernel, pi, phase=phase
+            )
+
+    def find_largest(
+        self,
+        pi: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        *,
+        phase: str,
+    ) -> int:
+        """Probe phase ``F``: concurrent reads of π at random positions."""
+        n = pi.shape[0]
+        probes = rng.integers(0, n, size=min(sample_size, max(n, 1)))
+        out = np.empty(probes.shape[0], dtype=VERTEX_DTYPE)
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                probes.shape[0], _probe_kernel, pi, probes, out, phase=phase
+            )
+        uniq, counts = np.unique(out, return_counts=True)
+        return int(uniq[np.argmax(counts)])
+
+    def hook_pass(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> bool:
+        """Concurrent CAS hook pass over every directed edge."""
+        changed = {"flag": False}
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                int(src.shape[0]), _hook_kernel, pi, src, dst, changed,
+                phase=phase,
+            )
+        return changed["flag"]
+
+    def run_stats(self) -> RunStats:
+        """The machine's accumulated work/span statistics."""
+        return self.machine.stats

@@ -1,0 +1,52 @@
+"""Uniform run instrumentation: phase wall-clock timers and counters.
+
+One :class:`Instrumentation` object is threaded through each engine run.
+Backends (and pipelines) wrap their phases in :meth:`Instrumentation.timer`
+so every algorithm — not just Afforest — gets a per-phase wall-time
+breakdown when profiling is requested.  When disabled (the default) every
+helper is a near-no-op, so un-profiled runs pay nothing measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Instrumentation"]
+
+
+class Instrumentation:
+    """Phase timers and named counters for a single engine run.
+
+    ``seconds`` maps phase label -> accumulated wall seconds (repeated
+    labels accumulate, matching iterative algorithms that revisit a
+    phase).  ``counters`` maps counter name -> accumulated integer.
+    Both stay empty while ``enabled`` is False.
+    """
+
+    __slots__ = ("enabled", "seconds", "counters")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.seconds: dict[str, float] = {}
+        self.counters: dict[str, int] = {}
+
+    @contextmanager
+    def timer(self, label: str) -> Iterator[None]:
+        """Context manager accumulating wall time under ``label``."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[label] = (
+                self.seconds.get(label, 0.0) + time.perf_counter() - t0
+            )
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate ``amount`` under counter ``name`` (when enabled)."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + amount

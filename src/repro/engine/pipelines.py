@@ -1,0 +1,237 @@
+"""Backend-agnostic connectivity pipelines (written once, run anywhere).
+
+Each pipeline is the *single* implementation of its algorithm's phase
+structure, expressed against :class:`~repro.engine.backends.ExecutionBackend`
+primitives.  Running it under :class:`~repro.engine.backends.VectorizedBackend`
+gives the wall-clock batch implementation; running it under
+:class:`~repro.engine.backends.SimulatedBackend` gives the concurrent
+instrumented one — same control flow, same counters, same phase labels
+(Fig. 7's legend: ``I`` init, ``L<r>`` link rounds, ``C<r>`` compress,
+``F`` find-largest, ``H`` final link/"hook", ``C*`` final compress for
+Afforest; ``I`` then ``H<i>``/``S<i>`` per iteration for SV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_NEIGHBOR_ROUNDS,
+    DEFAULT_SKIP_SAMPLE_SIZE,
+    ITERATION_CAP_FACTOR,
+    ITERATION_CAP_SLACK,
+    VERTEX_DTYPE,
+)
+from repro.engine.backends import ExecutionBackend
+from repro.engine.result import CCResult
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.unionfind.parent import ParentArray
+
+__all__ = ["afforest_pipeline", "sv_pipeline", "sv_pipeline_edges"]
+
+
+def _check_rounds(neighbor_rounds: int) -> None:
+    if neighbor_rounds < 0:
+        raise ConfigurationError(
+            f"neighbor_rounds must be >= 0, got {neighbor_rounds}"
+        )
+
+
+def _random_round_edges(
+    graph: CSRGraph, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One *random* neighbour per vertex (with replacement across rounds).
+
+    The alternative sampling the paper weighs in Sec. VI-A before choosing
+    first-``k``: statistically equivalent coverage, but the sampled slots
+    cannot be tracked, so the final phase must reprocess every slot.
+    """
+    deg = np.asarray(graph.degree())
+    verts = np.nonzero(deg > 0)[0].astype(VERTEX_DTYPE)
+    offsets = rng.integers(0, deg[verts])
+    nbrs = graph.indices[graph.indptr[verts] + offsets]
+    return verts, nbrs
+
+
+# --------------------------------------------------------------------- #
+# Afforest (paper Fig. 5)
+# --------------------------------------------------------------------- #
+
+
+def afforest_pipeline(
+    graph: CSRGraph,
+    backend: ExecutionBackend,
+    *,
+    neighbor_rounds: int = DEFAULT_NEIGHBOR_ROUNDS,
+    skip_largest: bool = True,
+    sample_size: int = DEFAULT_SKIP_SAMPLE_SIZE,
+    seed: int = 0,
+    sampling: str = "first",
+) -> CCResult:
+    """Run Afforest on any execution backend; returns the exact labeling.
+
+    Pipeline (identical on every backend):
+
+    1. initialise π self-pointing;
+    2. ``neighbor_rounds`` rounds of neighbour sampling, each a link over
+       ``(v, N(v)[r])`` followed by a compress — O(|V|) work per round;
+    3. probabilistic identification of the largest intermediate component
+       by sampling π (``skip_largest``);
+    4. final link phase over the remaining edge slots, skipping giant-
+       component vertices wholesale (safe by Theorem 3);
+    5. final compress: π becomes the component labeling.
+
+    ``sampling`` selects ``first`` (the first stored neighbours, whose
+    slots the final phase can skip) or ``random`` (a random neighbour per
+    vertex per round; untrackable, so the final phase reprocesses every
+    slot — the trade-off Sec. VI-A cites for choosing ``first``).
+    """
+    _check_rounds(neighbor_rounds)
+    if sampling not in ("first", "random"):
+        raise ConfigurationError(
+            f"sampling must be 'first' or 'random', got {sampling!r}"
+        )
+    n = graph.num_vertices
+    if n == 0:
+        result = CCResult(
+            labels=np.arange(0, dtype=VERTEX_DTYPE),
+            neighbor_rounds=neighbor_rounds,
+        )
+        result.run_stats = backend.run_stats()
+        return result
+
+    pi = backend.init_labels(n, phase="I")
+    result = CCResult(labels=pi, neighbor_rounds=neighbor_rounds)
+    deg = np.asarray(graph.degree())
+    rng = np.random.default_rng(seed)
+
+    for r in range(neighbor_rounds):
+        if sampling == "first":
+            result.edges_sampled += int(np.count_nonzero(deg > r))
+            rounds = backend.link_neighbor_round(pi, graph, r, phase=f"L{r}")
+        else:
+            src, dst = _random_round_edges(graph, rng)
+            result.edges_sampled += int(src.shape[0])
+            rounds = backend.link_edges(pi, src, dst, phase=f"L{r}")
+        if rounds is not None:
+            result.link_rounds.append(rounds)
+        passes = backend.compress(pi, phase=f"C{r}")
+        if passes is not None:
+            result.compress_passes.append(passes)
+
+    # Random sampling cannot mark which slots were consumed, so the final
+    # phase starts from slot 0 (reprocessing); first-k sampling resumes at
+    # slot neighbor_rounds.
+    final_start = neighbor_rounds if sampling == "first" else 0
+
+    largest: int | None = None
+    if skip_largest:
+        largest = backend.find_largest(pi, sample_size, rng, phase="F")
+        result.largest_label = largest
+
+    final, skipped, rounds = backend.link_remaining(
+        pi, graph, final_start, largest, phase="H"
+    )
+    result.edges_final = final
+    result.edges_skipped = skipped
+    if rounds is not None:
+        result.link_rounds.append(rounds)
+    passes = backend.compress(pi, phase="C*")
+    if passes is not None:
+        result.compress_passes.append(passes)
+    result.labels = pi
+    result.run_stats = backend.run_stats()
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Shiloach–Vishkin (paper Fig. 1, GAP formulation)
+# --------------------------------------------------------------------- #
+
+
+def sv_pipeline_edges(
+    backend: ExecutionBackend,
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    track_depth: bool = False,
+    shortcut: str = "full",
+) -> CCResult:
+    """Shiloach–Vishkin over a flat directed edge list, any backend.
+
+    Each outer iteration performs a *hook* pass over every edge — ``(u, v)``
+    hooks ``π(v)`` under ``π(u)`` when ``π(u) < π(v)`` and ``π(v)`` is a
+    root — followed by a *shortcut* pass.  Converges when a full iteration
+    changes nothing; unlike Afforest, every edge is reprocessed in every
+    iteration, which is exactly the work-inefficiency the paper targets.
+
+    ``track_depth`` records the maximum tree depth before each shortcut —
+    the Table II statistic — at the cost of an O(n) scan per iteration.
+    ``shortcut`` selects full compression per iteration (GAP's formulation,
+    the default) or the original algorithm's single ``pi <- pi[pi]`` step.
+    """
+    if shortcut not in ("full", "single"):
+        raise ConfigurationError(
+            f"shortcut must be 'full' or 'single', got {shortcut!r}"
+        )
+    n = num_vertices
+    if n == 0:
+        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
+        result.run_stats = backend.run_stats()
+        return result
+    src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+    dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+
+    pi = backend.init_labels(n, phase="I")
+    result = CCResult(labels=pi)
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > cap:
+            raise ConvergenceError(f"SV exceeded {cap} iterations")
+        changed = backend.hook_pass(pi, src, dst, phase=f"H{iterations}")
+        result.edges_processed += int(src.shape[0])
+        if track_depth:
+            d = ParentArray(pi).max_depth()
+            result.depth_per_iteration.append(d)
+            result.max_tree_depth = max(result.max_tree_depth, d)
+        if shortcut == "full":
+            backend.compress(pi, phase=f"S{iterations}")
+        else:
+            # The original formulation's single shortcut step per
+            # iteration: pi <- pi[pi] once.  Trees shrink gradually and
+            # convergence takes more iterations than GAP's full compress.
+            backend.shortcut_step(pi, phase=f"S{iterations}")
+        if not changed:
+            # With single-step shortcutting the trees may still be deep;
+            # converged means no more hooks, so finish compressing now.
+            if shortcut == "single":
+                backend.compress(pi, phase="S*")
+            break
+    result.iterations = iterations
+    result.run_stats = backend.run_stats()
+    return result
+
+
+def sv_pipeline(
+    graph: CSRGraph,
+    backend: ExecutionBackend,
+    *,
+    track_depth: bool = False,
+    shortcut: str = "full",
+) -> CCResult:
+    """Shiloach–Vishkin over a CSR graph (expands to the edge array)."""
+    n = graph.num_vertices
+    if n == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return sv_pipeline_edges(
+            backend, 0, empty, empty, track_depth=track_depth,
+            shortcut=shortcut,
+        )
+    src, dst = graph.edge_array()
+    return sv_pipeline_edges(
+        backend, n, src, dst, track_depth=track_depth, shortcut=shortcut
+    )

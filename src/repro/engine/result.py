@@ -1,0 +1,105 @@
+"""The unified connectivity result record.
+
+Every algorithm dispatched through :mod:`repro.engine` returns a
+:class:`CCResult`: the exact component labeling plus the union of all
+instrumentation the individual algorithms collect — edge counters,
+per-phase wall times, iteration statistics, and provenance (which
+algorithm ran, with which parameters, on which backend).
+
+Historically each algorithm had its own result dataclass
+(``AfforestResult``, ``SVResult``, ``LPResult``, ``BFSCCResult``,
+``DOBFSResult``); those names survive as thin aliases of
+:class:`CCResult`, so existing code keeps working while new code can
+treat every run uniformly.  Fields an algorithm does not populate keep
+their zero defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.metrics import RunStats
+
+__all__ = ["CCResult"]
+
+
+@dataclass
+class CCResult:
+    """Outcome of a connected-components run, any algorithm, any backend.
+
+    ``labels`` is the exact component labeling (root ids).  The remaining
+    fields are instrumentation; which ones are populated depends on the
+    algorithm:
+
+    - **provenance** (all engine runs): ``algorithm``, ``backend``,
+      ``params``;
+    - **Afforest counters**: ``neighbor_rounds``, ``largest_label``,
+      ``edges_sampled`` (processed in neighbour rounds), ``edges_final``
+      (processed in the final phase), ``edges_skipped`` (avoided by
+      component skipping), ``link_rounds``, ``compress_passes``;
+    - **iterative counters** (SV, label propagation): ``iterations``,
+      ``edges_processed``, ``max_tree_depth``, ``depth_per_iteration``;
+    - **traversal counters** (BFS-CC, DOBFS-CC): ``bfs_steps``,
+      ``top_down_steps``, ``bottom_up_steps``, ``edges_gathered``,
+      ``step_edges``;
+    - **uniform instrumentation**: ``phase_seconds`` (phase label ->
+      wall seconds, populated when ``profile=True``), ``counters``
+      (miscellaneous named counters), ``run_stats`` (work/span statistics
+      when executed on a simulated machine).
+    """
+
+    labels: np.ndarray
+    #: registry name of the algorithm that produced this result.
+    algorithm: str = ""
+    #: ``kind`` of the execution backend ("vectorized" / "simulated").
+    backend: str = ""
+    #: resolved parameters the run used (registry defaults + overrides).
+    params: dict = field(default_factory=dict)
+
+    # -- Afforest counters ------------------------------------------------ #
+    neighbor_rounds: int = 0
+    largest_label: int | None = None
+    edges_sampled: int = 0
+    edges_final: int = 0
+    edges_skipped: int = 0
+    link_rounds: list[int] = field(default_factory=list)
+    compress_passes: list[int] = field(default_factory=list)
+
+    # -- iterative counters (SV / label propagation) ---------------------- #
+    iterations: int = 0
+    edges_processed: int = 0  # directed edge examinations summed over iterations
+    max_tree_depth: int = 0  # deepest tree observed before any shortcut
+    depth_per_iteration: list[int] = field(default_factory=list)
+
+    # -- traversal counters (BFS-CC / DOBFS-CC) --------------------------- #
+    bfs_steps: int = 0  # total frontier expansions (serial rounds)
+    top_down_steps: int = 0
+    bottom_up_steps: int = 0
+    edges_gathered: int = 0  # actual vectorized gather volume (DOBFS)
+    #: edges examined per frontier expansion, in execution order.
+    step_edges: list[int] | None = None
+
+    # -- uniform instrumentation ------------------------------------------ #
+    #: miscellaneous named counters (algorithm-specific extras).
+    counters: dict = field(default_factory=dict)
+    #: phase label -> wall seconds, populated when profile=True.
+    phase_seconds: dict = field(default_factory=dict)
+    run_stats: RunStats | None = None
+
+    @property
+    def num_components(self) -> int:
+        """Number of distinct components in the labeling."""
+        return int(np.unique(self.labels).shape[0])
+
+    @property
+    def edges_touched(self) -> int:
+        """Directed edge slots examined by link phases."""
+        return self.edges_sampled + self.edges_final
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of final-phase edge slots avoided by skipping."""
+        denom = self.edges_final + self.edges_skipped
+        return self.edges_skipped / denom if denom else 0.0

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.generators import chung_lu_graph, grid_graph, kronecker_graph
+
 from repro.constants import VERTEX_DTYPE
 from repro.core.link import link_batch
 from repro.core.strategies import (
@@ -16,6 +18,18 @@ from repro.errors import ConfigurationError
 from repro.graph.properties import component_census
 from repro.unionfind import ParentArray, sequential_components
 from repro.analysis.verify import equivalent_labelings
+
+
+from repro.graph import from_edge_list
+
+GRAPH_FAMILIES = {
+    "powerlaw": lambda: chung_lu_graph(200, exponent=2.1, seed=2),
+    "lattice": lambda: grid_graph(9, 9),
+    "kron": lambda: kronecker_graph(scale=7, seed=4),
+    "empty": lambda: from_edge_list([], num_vertices=0),
+    "singleton": lambda: from_edge_list([], num_vertices=1),
+    "isolated": lambda: from_edge_list([], num_vertices=7),
+}
 
 
 def batch_edge_multiset(batches, n):
@@ -48,6 +62,17 @@ class TestCommonContract:
 
     def test_random_graphs_covered(self, name, random_graph_factory):
         g = random_graph_factory(30, 60, seed=11)
+        batches = STRATEGIES[name](g)
+        assert batch_edge_multiset(batches, g.num_vertices) == \
+            graph_edge_multiset(g)
+
+    @pytest.mark.parametrize(
+        "family",
+        ["powerlaw", "lattice", "kron", "empty", "singleton", "isolated"],
+    )
+    def test_graph_families_covered_exactly_once(self, name, family):
+        """Every directed edge slot appears in exactly one batch."""
+        g = GRAPH_FAMILIES[family]()
         batches = STRATEGIES[name](g)
         assert batch_edge_multiset(batches, g.num_vertices) == \
             graph_edge_multiset(g)

@@ -1,0 +1,54 @@
+"""Registry-driven equivalence: every algorithm, same vertex partition.
+
+The registry is the source of truth for what can run, so this suite
+enumerates it rather than hard-coding algorithm lists — a newly registered
+algorithm is automatically held to the same contract: on any graph it must
+produce the same partition of the vertex set as the sequential union-find
+reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.analysis import equivalent_labelings
+from repro.generators import (
+    chung_lu_graph,
+    component_fraction_graph,
+    grid_graph,
+)
+from repro.graph import from_edge_list
+from repro.unionfind import sequential_components
+
+GRAPH_FAMILIES = {
+    "powerlaw": lambda: chung_lu_graph(300, exponent=2.0, seed=3),
+    "lattice": lambda: grid_graph(12, 12),
+    "multi-component": lambda: component_fraction_graph(
+        256, 0.5, seed=8
+    ),
+    "empty": lambda: from_edge_list([], num_vertices=0),
+    "singleton": lambda: from_edge_list([], num_vertices=1),
+}
+
+
+@pytest.mark.parametrize("algorithm", engine.available_algorithms())
+@pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+def test_every_algorithm_every_family(algorithm, family):
+    g = GRAPH_FAMILIES[family]()
+    ref = sequential_components(g)
+    result = engine.run(algorithm, g)
+    assert result.labels.shape == (g.num_vertices,)
+    assert equivalent_labelings(result.labels, ref)
+
+
+@pytest.mark.parametrize("algorithm", engine.available_algorithms())
+def test_labels_are_integer_arrays(algorithm, mixed_graph):
+    result = engine.run(algorithm, mixed_graph)
+    assert isinstance(result.labels, np.ndarray)
+    assert np.issubdtype(result.labels.dtype, np.integer)
+
+
+@pytest.mark.parametrize("algorithm", engine.available_algorithms())
+def test_component_counts_agree(algorithm, mixed_graph, mixed_components):
+    result = engine.run(algorithm, mixed_graph)
+    assert result.num_components == len(mixed_components)
