@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro import engine
+from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 
 
@@ -74,6 +75,7 @@ def run_algorithm(
     dataset: str = "graph",
     *,
     repeats: int = 16,
+    scaling_workers: Sequence[int] | None = None,
     **kwargs,
 ) -> BenchmarkRecord:
     """Benchmark one algorithm on one graph with the paper's protocol.
@@ -83,6 +85,12 @@ def run_algorithm(
     ``BenchmarkRecord.extra`` (component count, edge-work counters, and
     ``phase_seconds`` — the per-phase wall-time breakdown printed by
     ``python -m repro compare --profile``).
+
+    ``scaling_workers`` additionally measures the process backend at each
+    given worker count (e.g. ``(1, 2, 4, 8)``) and records the strong-
+    scaling curve into ``extra["worker_scaling"]`` — one median wall time
+    per worker count, keyed by the (stringified) count — so a single
+    invocation yields both the base measurement and the scaling series.
     """
     results: list[engine.CCResult] = []
 
@@ -105,6 +113,10 @@ def run_algorithm(
         extra["iterations"] = first.iterations
     if first.phase_seconds:
         extra["phase_seconds"] = dict(first.phase_seconds)
+    if scaling_workers:
+        extra["worker_scaling"] = worker_scaling_curve(
+            graph, algorithm, scaling_workers, repeats=repeats, **kwargs
+        )
     return BenchmarkRecord(
         dataset=dataset,
         algorithm=algorithm,
@@ -114,3 +126,39 @@ def run_algorithm(
         samples=samples,
         extra=extra,
     )
+
+
+def worker_scaling_curve(
+    graph: CSRGraph,
+    algorithm: str,
+    worker_counts: Sequence[int],
+    *,
+    repeats: int = 16,
+    **kwargs,
+) -> dict[str, float]:
+    """Median process-backend wall time per worker count.
+
+    Each count gets its own persistent :class:`~repro.engine.backends.
+    ProcessParallelBackend` (pool and shared segments reused across the
+    timed samples, torn down afterwards), so the curve measures steady-
+    state execution rather than pool start-up.  Keys are stringified
+    worker counts for JSON friendliness.
+    """
+    spec = engine.get_algorithm(algorithm)
+    if not spec.supports_backend("process"):
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} does not support the process backend; "
+            f"supported: {list(spec.backends)}"
+        )
+    kwargs.pop("backend", None)
+    curve: dict[str, float] = {}
+    for workers in worker_counts:
+        with engine.ProcessParallelBackend(workers=workers) as backend:
+            # Warm the pool and shared-memory mirrors outside the timer.
+            engine.run(algorithm, graph, backend=backend, **kwargs)
+            med, _, _, _ = median_time(
+                lambda: engine.run(algorithm, graph, backend=backend, **kwargs),
+                repeats=repeats,
+            )
+        curve[str(workers)] = med
+    return curve

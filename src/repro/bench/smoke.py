@@ -1,0 +1,161 @@
+"""Oracle-checked smoke benchmark: ``python -m repro.bench.smoke``.
+
+A deliberately small, fast benchmark meant for continuous integration:
+it times Afforest and Shiloach–Vishkin on a power-law and a lattice
+graph, on both the vectorized and the process backend, and validates
+every labeling against the sequential union-find oracle.  Any
+disagreement with the oracle is a hard failure (non-zero exit), so the
+job doubles as an end-to-end correctness gate for the process backend's
+shared-memory path.  Timings are written as JSON for archiving as a
+workflow artifact; they are informational (CI machines are noisy), the
+pass/fail signal is correctness only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+
+from repro.bench.runner import run_algorithm, worker_scaling_curve
+from repro.engine import make_backend
+from repro.generators.lattice import grid_graph
+from repro.generators.powerlaw import barabasi_albert_graph
+from repro.graph.csr import CSRGraph
+from repro.unionfind.sequential import sequential_components
+
+#: (dataset name, builder) pairs — small enough for a sub-minute CI job
+#: yet covering both degree regimes (skewed power-law, uniform lattice).
+SMOKE_GRAPHS: tuple[tuple[str, object], ...] = (
+    ("powerlaw-5k", lambda: barabasi_albert_graph(5000, edges_per_vertex=4, seed=7)),
+    ("lattice-70x70", lambda: grid_graph(70, 70)),
+)
+
+SMOKE_ALGORITHMS = ("afforest", "sv")
+SMOKE_BACKENDS = ("vectorized", "process")
+
+
+def _canonical(labels: np.ndarray) -> np.ndarray:
+    """Labels renumbered by first appearance, for convention-free compare."""
+    _, canon = np.unique(labels, return_inverse=True)
+    return canon
+
+
+def check_against_oracle(graph: CSRGraph, labels: np.ndarray) -> bool:
+    """True when ``labels`` induces the oracle's partition of vertices."""
+    oracle = np.asarray(sequential_components(graph))
+    return bool(np.array_equal(_canonical(labels), _canonical(oracle)))
+
+
+def run_smoke(
+    *,
+    repeats: int = 5,
+    workers: int = 2,
+    scaling: bool = False,
+) -> tuple[dict, int]:
+    """Execute the smoke matrix; returns ``(report, num_failures)``."""
+    records: list[dict] = []
+    failures = 0
+    for dataset, build in SMOKE_GRAPHS:
+        graph = build()
+        oracle = np.asarray(sequential_components(graph))
+        oracle_canon = _canonical(oracle)
+        for algorithm in SMOKE_ALGORITHMS:
+            for kind in SMOKE_BACKENDS:
+                backend = make_backend(kind, workers=workers)
+                try:
+                    rec = run_algorithm(
+                        graph,
+                        algorithm,
+                        dataset,
+                        repeats=repeats,
+                        backend=backend,
+                    )
+                    labels = _last_labels(graph, algorithm, backend)
+                finally:
+                    backend.close()
+                ok = bool(np.array_equal(_canonical(labels), oracle_canon))
+                failures += not ok
+                records.append(
+                    {
+                        "dataset": dataset,
+                        "algorithm": algorithm,
+                        "backend": kind,
+                        "median_seconds": rec.median_seconds,
+                        "num_components": rec.extra["num_components"],
+                        "matches_oracle": ok,
+                    }
+                )
+                status = "ok" if ok else "ORACLE MISMATCH"
+                print(
+                    f"{dataset:>14} {algorithm:<10} {kind:<10} "
+                    f"{rec.median_seconds * 1000:8.2f} ms  {status}"
+                )
+        if scaling:
+            curve = worker_scaling_curve(
+                graph, "afforest", (1, 2, 4), repeats=max(repeats, 3)
+            )
+            records.append(
+                {"dataset": dataset, "algorithm": "afforest", "worker_scaling": curve}
+            )
+            print(f"{dataset:>14} afforest   scaling    {curve}")
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "workers": workers,
+        "failures": failures,
+        "records": records,
+    }
+    return report, failures
+
+
+def _last_labels(graph: CSRGraph, algorithm: str, backend) -> np.ndarray:
+    """One fresh labeling on ``backend`` for the oracle check.
+
+    ``run_algorithm`` discards labels (it keeps only timings/counters), so
+    the correctness check runs the algorithm once more on the same warm
+    backend — cheap at smoke sizes and exercises exactly the timed path.
+    """
+    import repro.engine as engine
+
+    return engine.run(algorithm, graph, backend=backend).labels
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (non-zero on
+    oracle disagreement)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.smoke",
+        description="oracle-checked CI smoke benchmark",
+    )
+    parser.add_argument("--output", help="write the JSON report to this path")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="process-backend worker count"
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="also record a 1/2/4-worker scaling curve per graph",
+    )
+    args = parser.parse_args(argv)
+    report, failures = run_smoke(
+        repeats=args.repeats, workers=args.workers, scaling=args.scaling
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.output}")
+    if failures:
+        print(f"error: {failures} configuration(s) disagree with the "
+              "union-find oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -23,7 +23,12 @@ import time
 import numpy as np
 
 import repro
-from repro.engine import available_algorithms, get_algorithm
+from repro.engine import (
+    available_algorithms,
+    backend_kinds,
+    get_algorithm,
+    make_backend,
+)
 from repro.errors import ReproError
 from repro.generators.datasets import DATASETS, SIZE_TIERS, load_dataset
 from repro.graph.csr import CSRGraph
@@ -76,12 +81,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     # before the (possibly expensive) graph load, not deep in dispatch.
     get_algorithm(args.algorithm)
     graph = _resolve_graph(args.graph, args.seed)
-    t0 = time.perf_counter()
-    labels = repro.connected_components(graph, args.algorithm)
-    elapsed = time.perf_counter() - t0
-    components = int(np.unique(labels).shape[0])
+    backend = make_backend(args.backend, workers=args.workers)
+    try:
+        t0 = time.perf_counter()
+        result = repro.engine.run(args.algorithm, graph, backend=backend)
+        elapsed = time.perf_counter() - t0
+    finally:
+        backend.close()
+    labels = result.labels
+    tag = "" if args.backend == "vectorized" else f" [{args.backend}]"
     print(
-        f"{args.algorithm}: {components} components in {elapsed * 1000:.1f} ms "
+        f"{args.algorithm}{tag}: {result.num_components} components in "
+        f"{elapsed * 1000:.1f} ms "
         f"({graph.num_vertices} vertices, {graph.num_edges} edges)"
     )
     if args.output:
@@ -97,13 +108,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     algorithms = [algo.strip() for algo in args.algorithms.split(",")]
     # Validate every name against the registry up front — a typo should
     # fail before the (possibly expensive) graph load and timing runs.
-    for algo in algorithms:
-        get_algorithm(algo)
-    graph = _resolve_graph(args.graph, args.seed)
-    records = [
-        run_algorithm(graph, algo, args.graph, repeats=args.repeats)
-        for algo in algorithms
+    specs = {algo: get_algorithm(algo) for algo in algorithms}
+    # Algorithms that cannot run on the requested substrate are skipped
+    # with a notice rather than aborting the whole comparison.
+    unsupported = [
+        algo
+        for algo, spec in specs.items()
+        if not spec.supports_backend(args.backend)
     ]
+    for algo in unsupported:
+        print(f"note: {algo} does not support the {args.backend} backend; skipped")
+    algorithms = [algo for algo in algorithms if algo not in unsupported]
+    if not algorithms:
+        print("error: no requested algorithm supports the backend", file=sys.stderr)
+        return 1
+    graph = _resolve_graph(args.graph, args.seed)
+    backend = make_backend(args.backend, workers=args.workers)
+    try:
+        records = [
+            run_algorithm(
+                graph, algo, args.graph, repeats=args.repeats, backend=backend
+            )
+            for algo in algorithms
+        ]
+    finally:
+        backend.close()
     baseline = records[0]
     rows = [
         [
@@ -130,14 +159,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _print_profile(rec) -> None:
     """Print one record's per-phase wall-time breakdown, if it has one."""
-    phases = rec.extra.get("phase_seconds")
+    phases = dict(rec.extra.get("phase_seconds") or {})
     if not phases:
         print(f"\n{rec.algorithm}: no phase breakdown recorded")
         return
-    total = sum(phases.values()) or 1.0
+    # "total" is the whole-run wall time, not a phase — report it as the
+    # denominator rather than a band of itself.
+    wall = phases.pop("total", None)
+    total = wall if wall else (sum(phases.values()) or 1.0)
     print(f"\n{rec.algorithm} phase breakdown (first sample):")
     for label, secs in phases.items():
         print(f"  {label:<10} {secs * 1000:10.3f} ms  {secs / total:6.1%}")
+    if wall is not None:
+        covered = sum(phases.values())
+        print(
+            f"  {'total':<10} {wall * 1000:10.3f} ms  "
+            f"(phases cover {covered / total:.1%}, rest is dispatch)"
+        )
     counters = {
         k: v
         for k, v in rec.extra.items()
@@ -180,6 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
     # algorithms that will resolve (including any registered extensions).
     algo_names = ", ".join(available_algorithms())
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=backend_kinds(),
+            default="vectorized",
+            help="execution substrate (default: vectorized)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for the simulated/process backends "
+            "(default: one per core, capped at 8)",
+        )
+
     p = sub.add_parser("solve", help="compute connected components")
     p.add_argument("graph")
     p.add_argument(
@@ -188,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"registered algorithm name (one of: {algo_names})",
     )
     p.add_argument("--output", help="write labels to an .npz file")
+    add_backend_args(p)
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser("compare", help="time several algorithms on one graph")
@@ -202,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each algorithm's per-phase wall-time breakdown",
     )
+    add_backend_args(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("convert", help="translate between graph file formats")

@@ -12,7 +12,9 @@ The engine ties four pieces together:
 - pluggable **execution backends**
   (:class:`~repro.engine.backends.VectorizedBackend` for NumPy batch
   kernels, :class:`~repro.engine.backends.SimulatedBackend` for the
-  simulated parallel machine) against which the Afforest and
+  simulated parallel machine,
+  :class:`~repro.engine.backends.ProcessParallelBackend` for real OS
+  processes over shared-memory π) against which the Afforest and
   Shiloach–Vishkin pipelines are written exactly once;
 - uniform **instrumentation**
   (:class:`~repro.engine.instrumentation.Instrumentation`) so any
@@ -24,6 +26,7 @@ Usage::
 
     result = engine.run("afforest", g, neighbor_rounds=2)
     result = engine.run("sv", g, backend=engine.SimulatedBackend(machine))
+    result = engine.run("afforest", g, backend="process")   # 4-core run
     engine.available_algorithms()   # ['afforest', 'afforest-noskip', ...]
 
 Adding an algorithm::
@@ -39,10 +42,14 @@ from __future__ import annotations
 
 from repro.engine.backends import (
     ExecutionBackend,
+    ProcessParallelBackend,
     SimulatedBackend,
     VectorizedBackend,
+    backend_kinds,
+    make_backend,
 )
 from repro.engine.instrumentation import Instrumentation
+from repro.engine.partition import EdgeBlock, partition_csr_blocks
 from repro.engine.pipelines import afforest_pipeline, sv_pipeline, sv_pipeline_edges
 from repro.engine.registry import (
     AlgorithmSpec,
@@ -50,6 +57,7 @@ from repro.engine.registry import (
     describe_algorithms,
     get_algorithm,
     register,
+    supported_backends,
 )
 from repro.engine.result import CCResult
 from repro.errors import ConfigurationError
@@ -61,12 +69,18 @@ __all__ = [
     "get_algorithm",
     "available_algorithms",
     "describe_algorithms",
+    "supported_backends",
     "AlgorithmSpec",
     "CCResult",
     "Instrumentation",
     "ExecutionBackend",
     "VectorizedBackend",
     "SimulatedBackend",
+    "ProcessParallelBackend",
+    "backend_kinds",
+    "make_backend",
+    "EdgeBlock",
+    "partition_csr_blocks",
     "afforest_pipeline",
     "sv_pipeline",
     "sv_pipeline_edges",
@@ -77,23 +91,34 @@ def run(
     name: str,
     graph: CSRGraph,
     *,
-    backend: ExecutionBackend | None = None,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     profile: bool = False,
     **params,
 ) -> CCResult:
     """Run registered algorithm ``name`` on ``graph`` and return its result.
 
-    ``backend`` selects the execution substrate (default: a fresh
-    :class:`~repro.engine.backends.VectorizedBackend`); the algorithm must
+    ``backend`` selects the execution substrate: an
+    :class:`~repro.engine.backends.ExecutionBackend` instance, a kind
+    string (``"vectorized"`` / ``"simulated"`` / ``"process"``, built via
+    :func:`~repro.engine.backends.make_backend` with ``workers`` and torn
+    down after the run), or ``None`` for a fresh
+    :class:`~repro.engine.backends.VectorizedBackend`.  The algorithm must
     list the backend's kind in its registry metadata.  ``profile=True``
-    records per-phase wall seconds into ``result.phase_seconds`` —
-    algorithms without native phase instrumentation report a single
-    ``total`` phase.  Remaining keyword arguments override the
-    algorithm's registered defaults and are forwarded to its pipeline.
+    records per-phase wall seconds into ``result.phase_seconds``, always
+    including a whole-run ``total`` phase so per-phase overhead (worker
+    dispatch, shared-memory setup) is visible; algorithms without native
+    phase instrumentation report only ``total``.  Remaining keyword
+    arguments override the algorithm's registered defaults and are
+    forwarded to its pipeline.
     """
     spec = get_algorithm(name)
+    owned = False
     if backend is None:
         backend = VectorizedBackend()
+    elif isinstance(backend, str):
+        backend = make_backend(backend, workers=workers)
+        owned = True
     if not spec.supports_backend(backend.kind):
         raise ConfigurationError(
             f"algorithm {name!r} does not support the {backend.kind!r} "
@@ -103,14 +128,20 @@ def run(
     instr = Instrumentation(enabled=profile)
     backend.bind(instr)
     try:
-        if profile and not spec.instrumented:
-            with instr.timer("total"):
+        try:
+            if profile:
+                with instr.timer("total"):
+                    result = spec.fn(graph, backend, **merged)
+            else:
                 result = spec.fn(graph, backend, **merged)
-        else:
-            result = spec.fn(graph, backend, **merged)
+        finally:
+            # Leave shared/reused backends with a clean disabled recorder.
+            backend.bind(Instrumentation(False))
+        # Shared-memory labels must outlive the backend's segments.
+        result.labels = backend.detach_labels(result.labels)
     finally:
-        # Leave shared/reused backends with a clean disabled recorder.
-        backend.bind(Instrumentation(False))
+        if owned:
+            backend.close()
     result.algorithm = name
     result.backend = backend.kind
     result.params = dict(merged)

@@ -27,14 +27,16 @@ from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
 from repro.unionfind.sequential import sequential_components
 
-BOTH_BACKENDS = ("vectorized", "simulated")
+#: substrates the backend-agnostic pipelines run on; the remaining
+#: algorithms wrap vectorized implementations and stay vectorized-only.
+PIPELINE_BACKENDS = ("vectorized", "simulated", "process")
 
 
 @register(
     "afforest",
     description="Afforest: neighbour-round sampling + component skipping "
     "(the paper's algorithm, Fig. 5)",
-    backends=BOTH_BACKENDS,
+    backends=PIPELINE_BACKENDS,
     instrumented=True,
 )
 def _run_afforest(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
@@ -47,7 +49,7 @@ def _run_afforest(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCRes
     description="Afforest with large-component skipping disabled "
     "(the 'no skip' configuration of Figs. 7b/8b)",
     defaults={"skip_largest": False},
-    backends=BOTH_BACKENDS,
+    backends=PIPELINE_BACKENDS,
     instrumented=True,
 )
 def _run_afforest_noskip(
@@ -61,7 +63,7 @@ def _run_afforest_noskip(
     "sv",
     description="Shiloach-Vishkin tree hooking (GAP formulation): "
     "hook + shortcut over every edge per iteration",
-    backends=BOTH_BACKENDS,
+    backends=PIPELINE_BACKENDS,
     instrumented=True,
 )
 def _run_sv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:

@@ -11,32 +11,57 @@ hook-and-shortcut — that admit two execution substrates:
 - :class:`SimulatedBackend` — generator kernels on a
   :class:`~repro.parallel.machine.SimulatedMachine`, with a preemption
   point before every shared access; the instrumented concurrent-semantics
-  implementation that produces work/span statistics and memory traces.
+  implementation that produces work/span statistics and memory traces;
+- :class:`ProcessParallelBackend` — real OS processes over a parent array
+  in ``multiprocessing.shared_memory``, edges partitioned into contiguous
+  CSR edge blocks (:mod:`repro.engine.partition`); the multi-core
+  wall-clock implementation.
 
 Each pipeline in :mod:`repro.engine.pipelines` is written *once* against
 :class:`ExecutionBackend`; choosing the substrate is a constructor
 argument, not a separate code path.  Backend methods wrap their work in
 the bound :class:`~repro.engine.instrumentation.Instrumentation` timers,
-so profiled runs get a per-phase wall-time breakdown on either substrate.
+so profiled runs get a per-phase wall-time breakdown on any substrate.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Generator
 
 import numpy as np
 
-from repro.constants import VERTEX_DTYPE
+from repro.constants import (
+    ITERATION_CAP_FACTOR,
+    ITERATION_CAP_SLACK,
+    VERTEX_DTYPE,
+)
 from repro.core.compress import compress_all, compress_kernel
 from repro.core.link import link_batch, link_kernel
 from repro.core.sampling import approximate_largest_label
+from repro.engine import partition as _part
 from repro.engine.instrumentation import Instrumentation
+from repro.engine.partition import (
+    SharedVector,
+    partition_csr_blocks,
+    partition_ranges,
+    preferred_start_method,
+)
+from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.nputil import segment_ranges
 from repro.parallel.machine import KernelContext, SimulatedMachine
 from repro.parallel.metrics import RunStats
 
-__all__ = ["ExecutionBackend", "VectorizedBackend", "SimulatedBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "VectorizedBackend",
+    "SimulatedBackend",
+    "ProcessParallelBackend",
+    "backend_kinds",
+    "make_backend",
+]
 
 
 # --------------------------------------------------------------------- #
@@ -268,6 +293,20 @@ class ExecutionBackend:
         """Work/span statistics of the substrate, when it collects any."""
         return None
 
+    # -- lifecycle ------------------------------------------------------- #
+
+    def detach_labels(self, pi: np.ndarray) -> np.ndarray:
+        """Turn a π produced by this backend into an independently owned
+        array.  In-process substrates return it unchanged; shared-memory
+        substrates copy it out so the segment can be reclaimed."""
+        return pi
+
+    def close(self) -> None:
+        """Release substrate resources (worker pools, shared segments).
+
+        A no-op for in-process backends; safe to call repeatedly.
+        """
+
 
 class VectorizedBackend(ExecutionBackend):
     """NumPy batch-kernel substrate: the wall-clock performance path.
@@ -491,3 +530,337 @@ class SimulatedBackend(ExecutionBackend):
     def run_stats(self) -> RunStats:
         """The machine's accumulated work/span statistics."""
         return self.machine.stats
+
+
+class ProcessParallelBackend(ExecutionBackend):
+    """Real multi-core substrate: OS processes over shared-memory π.
+
+    The parent array lives in a ``multiprocessing.shared_memory`` segment;
+    the CSR arrays (and flat edge batches) are mirrored into further
+    segments once per graph; and a persistent worker pool executes each
+    pipeline phase as one task per contiguous CSR edge block
+    (:func:`~repro.engine.partition.partition_csr_blocks`).  Hooks are
+    lock-free scatter-min writes — monotone toward smaller labels, so a
+    racing write can lose a merge but never corrupt the forest — and every
+    phase ends at a global barrier (the pool ``starmap`` return).  After
+    the final link phase a *settle loop* alternates parallel compression
+    with a full-edge mismatch sweep until no edge's endpoints sit in
+    different trees, repairing any lost updates (usually zero passes).
+
+    Labels returned through :func:`repro.engine.run` are detached (copied
+    out of shared memory) automatically.  When driving pipelines directly,
+    call :meth:`close` (or use the backend as a context manager) once the
+    labels have been copied; segments whose views escaped are unlinked but
+    stay mapped until the last view dies.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or max(1, min(os.cpu_count() or 1, 8))
+        self._start_method = start_method or preferred_start_method()
+        self._pool = None
+        self._pi: SharedVector | None = None
+        # Cached per-graph shared mirrors; the strong graph reference keeps
+        # the id() key stable for the cache's lifetime.
+        self._graph: CSRGraph | None = None
+        self._graph_segs: tuple[SharedVector, SharedVector] | None = None
+        self._blocks: list[_part.EdgeBlock] = []
+        # Reusable flat edge buffers (SV batches, random-sampling rounds).
+        self._src_buf: SharedVector | None = None
+        self._dst_buf: SharedVector | None = None
+        self._src_key: np.ndarray | None = None
+        self._dst_key: np.ndarray | None = None
+
+    # -- pool / segment management --------------------------------------- #
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self._start_method)
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def _starmap(self, fn, tasks: list[tuple]) -> list:
+        return self._ensure_pool().starmap(fn, tasks)
+
+    def _release(self, vec: SharedVector | None) -> None:
+        if vec is not None:
+            _part._evict_attached(vec.shm.name)
+            vec.release()
+
+    def _graph_specs(self, graph: CSRGraph):
+        """Shared mirrors of the graph's CSR arrays (+ its edge blocks)."""
+        if self._graph is not graph:
+            if self._graph_segs is not None:
+                for seg in self._graph_segs:
+                    self._release(seg)
+            ip = SharedVector(graph.indptr.shape[0])
+            ip.array[:] = graph.indptr
+            ix = SharedVector(max(graph.indices.shape[0], 1))
+            ix.array[: graph.indices.shape[0]] = graph.indices
+            self._graph = graph
+            self._graph_segs = (ip, ix)
+            self._blocks = partition_csr_blocks(graph.indptr, self.workers)
+        ip, ix = self._graph_segs  # type: ignore[misc]
+        return ip.spec, ix.spec, self._blocks
+
+    def _grow_buffer(
+        self, buf: SharedVector | None, length: int
+    ) -> SharedVector:
+        if buf is None or buf.length < length:
+            self._release(buf)
+            buf = SharedVector(max(length, 1024))
+        return buf
+
+    def _load_edges(self, src: np.ndarray, dst: np.ndarray):
+        """Copy a flat edge batch into the shared buffers (skipped when the
+        exact same arrays were loaded last — SV reuses one batch across all
+        its iterations)."""
+        if src is self._src_key and dst is self._dst_key:
+            return self._src_buf.spec, self._dst_buf.spec  # type: ignore[union-attr]
+        m = int(src.shape[0])
+        self._src_buf = self._grow_buffer(self._src_buf, m)
+        self._dst_buf = self._grow_buffer(self._dst_buf, m)
+        self._src_buf.array[:m] = src
+        self._dst_buf.array[:m] = dst
+        self._src_key = src
+        self._dst_key = dst
+        return self._src_buf.spec, self._dst_buf.spec
+
+    # -- primitives ------------------------------------------------------ #
+
+    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
+        """Fresh shared-memory identity parent array."""
+        self._release(self._pi)
+        self._pi = SharedVector(n)
+        pi = self._pi.array
+        pi[:] = np.arange(n, dtype=VERTEX_DTYPE)
+        return pi
+
+    def _pi_spec(self, pi: np.ndarray):
+        if self._pi is None or pi is not self._pi.array:
+            raise ConfigurationError(
+                "ProcessParallelBackend can only operate on the parent "
+                "array returned by its own init_labels()"
+            )
+        return self._pi.spec
+
+    def link_edges(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> None:
+        """Parallel link of a flat edge batch, one task per range."""
+        pi_spec = self._pi_spec(pi)
+        src_spec, dst_spec = self._load_edges(src, dst)
+        ranges = partition_ranges(int(src.shape[0]), self.workers)
+        with self.instr.timer(phase):
+            self._starmap(
+                _part._task_link_edges,
+                [
+                    (pi_spec, src_spec, dst_spec, lo, hi)
+                    for lo, hi in ranges
+                ],
+            )
+        return None
+
+    def link_neighbor_round(
+        self, pi: np.ndarray, graph: CSRGraph, r: int, *, phase: str
+    ) -> None:
+        """Parallel neighbour round, one task per CSR edge block."""
+        pi_spec = self._pi_spec(pi)
+        ip_spec, ix_spec, blocks = self._graph_specs(graph)
+        with self.instr.timer(phase):
+            self._starmap(
+                _part._task_link_round,
+                [
+                    (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi, r)
+                    for b in blocks
+                ],
+            )
+        return None
+
+    def link_remaining(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        start: int,
+        largest: int | None,
+        *,
+        phase: str,
+    ) -> tuple[int, int, None]:
+        """Parallel final phase with per-block component skipping.
+
+        After the block links, a settle loop (compress barrier + full-edge
+        mismatch sweep) repairs any merges lost to scatter-min races; the
+        loop almost always exits after the first clean sweep.
+        """
+        pi_spec = self._pi_spec(pi)
+        ip_spec, ix_spec, blocks = self._graph_specs(graph)
+        with self.instr.timer(phase):
+            shares = self._starmap(
+                _part._task_link_remaining,
+                [
+                    (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi, start, largest)
+                    for b in blocks
+                ],
+            )
+        final = sum(s[0] for s in shares)
+        skipped = sum(s[1] for s in shares)
+        settle = 0
+        cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+        with self.instr.timer(f"{phase}-settle"):
+            while True:
+                self._compress_barrier(pi)
+                fixed = self._starmap(
+                    _part._task_check_fix,
+                    [
+                        (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi)
+                        for b in blocks
+                    ],
+                )
+                if not any(fixed):
+                    break
+                settle += 1
+                if settle > cap:
+                    raise ConvergenceError(
+                        f"settle loop exceeded {cap} passes — corrupted pi?"
+                    )
+        self.instr.count("settle_passes", settle)
+        return final, skipped, None
+
+    def _compress_barrier(self, pi: np.ndarray) -> None:
+        """One parallel compress pass over π (no timer: callers wrap it)."""
+        pi_spec = self._pi_spec(pi)
+        ranges = partition_ranges(int(pi.shape[0]), self.workers)
+        self._starmap(
+            _part._task_compress,
+            [(pi_spec, lo, hi) for lo, hi in ranges],
+        )
+
+    def compress(self, pi: np.ndarray, *, phase: str) -> None:
+        """Global compress barrier: per-block pointer jumping to roots."""
+        with self.instr.timer(phase):
+            self._compress_barrier(pi)
+        return None
+
+    def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
+        """Parallel single-step shortcut over per-block π ranges."""
+        pi_spec = self._pi_spec(pi)
+        ranges = partition_ranges(int(pi.shape[0]), self.workers)
+        with self.instr.timer(phase):
+            self._starmap(
+                _part._task_shortcut,
+                [(pi_spec, lo, hi) for lo, hi in ranges],
+            )
+
+    def find_largest(
+        self,
+        pi: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        *,
+        phase: str,
+    ) -> int:
+        """Direct π probes (parent-side: the sample is tiny)."""
+        with self.instr.timer(phase):
+            return approximate_largest_label(pi, sample_size, rng=rng)
+
+    def hook_pass(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> bool:
+        """One parallel min-hook pass; True if any block hooked.
+
+        A lost scatter-min race implies at least one block reported a
+        change, so the pipeline's "full pass with no change" convergence
+        test stays sound across processes.
+        """
+        pi_spec = self._pi_spec(pi)
+        src_spec, dst_spec = self._load_edges(src, dst)
+        ranges = partition_ranges(int(src.shape[0]), self.workers)
+        with self.instr.timer(phase):
+            changed = self._starmap(
+                _part._task_hook,
+                [
+                    (pi_spec, src_spec, dst_spec, lo, hi)
+                    for lo, hi in ranges
+                ],
+            )
+        return any(changed)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def detach_labels(self, pi: np.ndarray) -> np.ndarray:
+        """Copy labels out of shared memory into an ordinary array."""
+        if self._pi is not None and pi is self._pi.array:
+            return np.array(pi, dtype=VERTEX_DTYPE, copy=True)
+        return pi
+
+    def close(self) -> None:
+        """Terminate the worker pool and release every shared segment."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        for vec in (self._pi, self._src_buf, self._dst_buf):
+            self._release(vec)
+        self._pi = self._src_buf = self._dst_buf = None
+        self._src_key = self._dst_key = None
+        if self._graph_segs is not None:
+            for seg in self._graph_segs:
+                self._release(seg)
+        self._graph = None
+        self._graph_segs = None
+        self._blocks = []
+
+    def __enter__(self) -> "ProcessParallelBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# backend factory
+# --------------------------------------------------------------------- #
+
+#: canonical backend kinds, as accepted by :func:`make_backend`, the CLI's
+#: ``--backend`` flag, and algorithm registry metadata.
+BACKEND_KINDS = ("vectorized", "simulated", "process")
+
+
+def backend_kinds() -> tuple[str, ...]:
+    """The backend kinds :func:`make_backend` can construct."""
+    return BACKEND_KINDS
+
+
+def make_backend(
+    kind: str, *, workers: int | None = None
+) -> ExecutionBackend:
+    """Construct a backend from its registry kind.
+
+    ``workers`` selects the worker count for the parallel substrates
+    (simulated machine workers / OS processes); the vectorized backend
+    ignores it.
+    """
+    if kind == "vectorized":
+        return VectorizedBackend()
+    if kind == "simulated":
+        return SimulatedBackend(SimulatedMachine(workers or 4))
+    if kind == "process":
+        return ProcessParallelBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown backend kind {kind!r}; available: {list(BACKEND_KINDS)}"
+    )

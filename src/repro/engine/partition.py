@@ -1,0 +1,392 @@
+"""Edge-block partitioning and shared-memory plumbing for the process backend.
+
+The paper's central observation — link/compress apply to *arbitrary* edge
+subsets independently (Theorem 1) — is exactly what makes Afforest
+partitionable across real OS processes.  This module provides the two
+ingredients :class:`~repro.engine.backends.ProcessParallelBackend` builds
+on:
+
+- **contiguous CSR edge blocks** (:func:`partition_csr_blocks`): the
+  vertex range ``[v_lo, v_hi)`` whose neighbour slots form the contiguous
+  span ``indices[e_lo:e_hi]``, cut so every block carries roughly the same
+  number of edge slots regardless of degree skew;
+- **shared-memory vectors** (:class:`SharedVector`) holding π, the CSR
+  arrays, and flat edge batches in ``multiprocessing.shared_memory``
+  segments, so a persistent worker pool operates on the *same* physical
+  parent array with zero per-task copying.
+
+The ``_task_*`` functions at the bottom are the worker-side phase bodies:
+each receives segment *specs* (name/length pairs), attaches the segments
+once per process (cached in :data:`_ATTACHED`), and runs the existing
+vectorized kernels (:func:`~repro.core.link.link_batch`, pointer-jumping
+compression) restricted to its block.  Cross-process hooks are plain
+scatter-min writes — lock-free, monotone toward smaller labels — so a
+racing write can *lose an update* but never corrupt the forest: every
+value written into ``pi[h]`` is a label drawn from ``h``'s own component
+and smaller than ``h``, preserving Invariant 1 (``pi[x] <= x``) under any
+interleaving.  Lost merges are repaired by the backend's settle loop
+(:func:`_task_check_fix`) between global compress barriers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.constants import VERTEX_DTYPE
+from repro.core.link import link_batch
+from repro.errors import ConfigurationError
+from repro.nputil import segment_ranges
+
+__all__ = [
+    "EdgeBlock",
+    "SharedVector",
+    "partition_csr_blocks",
+    "partition_ranges",
+    "preferred_start_method",
+]
+
+_DTYPE = np.dtype(VERTEX_DTYPE)
+
+#: segment spec shipped to workers: (shm name, logical element count).
+SegSpec = tuple[str, int]
+
+
+# --------------------------------------------------------------------- #
+# partitioning
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class EdgeBlock:
+    """A contiguous CSR edge block.
+
+    Covers the vertex range ``[v_lo, v_hi)``; because CSR stores each
+    vertex's neighbours contiguously, the block's edge slots are the
+    contiguous span ``[e_lo, e_hi)`` of ``indices``.
+    """
+
+    v_lo: int
+    v_hi: int
+    e_lo: int
+    e_hi: int
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by the block."""
+        return self.v_hi - self.v_lo
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge slots covered by the block."""
+        return self.e_hi - self.e_lo
+
+
+def partition_csr_blocks(indptr: np.ndarray, num_blocks: int) -> list[EdgeBlock]:
+    """Cut the CSR structure into ``num_blocks`` contiguous edge blocks.
+
+    Block boundaries fall on vertex boundaries (a vertex's neighbour list
+    is never split) and are chosen by binary-searching ``indptr`` at even
+    edge-count targets, so blocks are edge-balanced even under power-law
+    degree skew.  Together the blocks cover every vertex exactly once;
+    trailing isolated vertices land in the last block.
+    """
+    if num_blocks < 1:
+        raise ConfigurationError(f"num_blocks must be >= 1, got {num_blocks}")
+    n = int(indptr.shape[0] - 1)
+    m = int(indptr[-1]) if n else 0
+    targets = np.linspace(0, m, num_blocks + 1)
+    cuts = np.searchsorted(indptr, targets, side="left").astype(np.int64)
+    cuts[0] = 0
+    cuts[-1] = n
+    cuts = np.maximum.accumulate(np.clip(cuts, 0, n))
+    return [
+        EdgeBlock(
+            int(cuts[b]),
+            int(cuts[b + 1]),
+            int(indptr[cuts[b]]),
+            int(indptr[cuts[b + 1]]),
+        )
+        for b in range(num_blocks)
+    ]
+
+
+def partition_ranges(total: int, num_blocks: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``num_blocks`` near-equal ``(lo, hi)``
+    ranges (for flat edge arrays and per-vertex π sweeps)."""
+    if num_blocks < 1:
+        raise ConfigurationError(f"num_blocks must be >= 1, got {num_blocks}")
+    bounds = np.linspace(0, total, num_blocks + 1).astype(np.int64)
+    return [(int(bounds[b]), int(bounds[b + 1])) for b in range(num_blocks)]
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (fast pool start), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# --------------------------------------------------------------------- #
+# shared-memory vectors
+# --------------------------------------------------------------------- #
+
+
+class SharedVector:
+    """A ``VERTEX_DTYPE`` vector living in a shared-memory segment.
+
+    Created by the parent (``SharedVector(length)``); workers attach by
+    name through :func:`_attach_view`.  ``array`` is the parent's live
+    view; ``spec`` is what gets pickled into worker tasks.
+    """
+
+    __slots__ = ("shm", "length", "array")
+
+    def __init__(self, length: int) -> None:
+        nbytes = max(int(length) * _DTYPE.itemsize, 1)
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.length = int(length)
+        self.array = np.frombuffer(
+            self.shm.buf, dtype=_DTYPE, count=self.length
+        )
+
+    @property
+    def spec(self) -> SegSpec:
+        """Pickle-friendly handle workers attach with."""
+        return (self.shm.name, self.length)
+
+    def release(self) -> None:
+        """Unmap and unlink the segment.
+
+        If views of the buffer escaped (e.g. labels returned by a direct
+        pipeline call that were never detached), ``close`` raises
+        ``BufferError``; the name is still unlinked so the memory is
+        reclaimed once the last view dies.
+        """
+        self.array = None  # type: ignore[assignment]
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - external views alive
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+# --------------------------------------------------------------------- #
+# worker-side attachment cache
+# --------------------------------------------------------------------- #
+
+#: per-process cache: segment name -> (SharedMemory, full-buffer view).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _attach_view(spec: SegSpec) -> np.ndarray:
+    """The first ``length`` elements of segment ``name``, attached once.
+
+    Works identically in workers and in the parent (the parent's own
+    mapping is simply re-attached by name), so every ``_task_*`` body can
+    also run inline for debugging.
+    """
+    name, length = spec
+    hit = _ATTACHED.get(name)
+    if hit is None:
+        # Attaching re-registers the name with the resource tracker, but
+        # pool workers inherit the parent's tracker (fork and spawn both
+        # pass the fd), so the registration set simply dedupes; cleanup
+        # stays with the parent's release()/unlink().
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.frombuffer(shm.buf, dtype=_DTYPE)
+        _ATTACHED[name] = (shm, view)
+        hit = _ATTACHED[name]
+    return hit[1][:length]
+
+
+def _evict_attached(name: str) -> None:
+    """Drop a cached attachment (parent-side, after releasing a segment)."""
+    hit = _ATTACHED.pop(name, None)
+    if hit is not None:
+        shm, _view = hit
+        del _view
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------- #
+# worker task bodies (one call = one block of one phase)
+# --------------------------------------------------------------------- #
+
+
+def _task_link_round(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    v_lo: int,
+    v_hi: int,
+    r: int,
+) -> None:
+    """Neighbour round ``r`` over one block: link ``(v, N(v)[r])`` for
+    every block vertex with degree > r."""
+    if v_hi <= v_lo:
+        return
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    ip = indptr[v_lo : v_hi + 1]
+    deg = np.diff(ip)
+    sel = np.nonzero(deg > r)[0]
+    if sel.size == 0:
+        return
+    verts = (v_lo + sel).astype(VERTEX_DTYPE)
+    nbrs = indices[ip[sel] + r]
+    link_batch(pi, verts, nbrs)
+
+
+def _task_link_edges(
+    pi_spec: SegSpec,
+    src_spec: SegSpec,
+    dst_spec: SegSpec,
+    lo: int,
+    hi: int,
+) -> None:
+    """Link one contiguous range of a flat shared edge batch."""
+    if hi <= lo:
+        return
+    pi = _attach_view(pi_spec)
+    src = _attach_view(src_spec)
+    dst = _attach_view(dst_spec)
+    link_batch(pi, src[lo:hi], dst[lo:hi])
+
+
+def _task_link_remaining(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    v_lo: int,
+    v_hi: int,
+    start: int,
+    largest: int | None,
+) -> tuple[int, int]:
+    """Afforest final phase over one block.
+
+    Links edge slots ``start..deg(v)-1`` of every block vertex whose
+    current label differs from ``largest``; returns ``(linked, skipped)``
+    slot counts (the per-block shares of ``edges_final``/``edges_skipped``).
+    """
+    if v_hi <= v_lo:
+        return 0, 0
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    verts = np.arange(v_lo, v_hi, dtype=VERTEX_DTYPE)
+    deg = indptr[v_lo + 1 : v_hi + 1] - indptr[v_lo:v_hi]
+    skipped = 0
+    if largest is not None:
+        keep = pi[verts] != largest
+        skipped = int(np.maximum(deg[~keep] - start, 0).sum())
+        verts = verts[keep]
+        deg = deg[keep]
+    counts = np.maximum(deg - start, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return 0, skipped
+    src = np.repeat(verts, counts)
+    offsets = np.repeat(indptr[verts] + start, counts) + segment_ranges(counts)
+    link_batch(pi, src, indices[offsets])
+    return total, skipped
+
+
+def _task_compress(pi_spec: SegSpec, lo: int, hi: int) -> None:
+    """Compress the block's π slots to their roots by pointer jumping.
+
+    Reads may cross block boundaries but writes stay inside ``[lo, hi)``,
+    so slots are single-writer; concurrent writers elsewhere only ever
+    shorten paths (Theorem 2), and roots are stable during a compress
+    phase (no links run concurrently), so the loop terminates with every
+    block slot pointing at a true root.
+    """
+    if hi <= lo:
+        return
+    pi = _attach_view(pi_spec)
+    while True:
+        p = pi[lo:hi].copy()
+        gp = pi[p]
+        if np.array_equal(gp, p):
+            return
+        pi[lo:hi] = gp
+
+
+def _task_shortcut(pi_spec: SegSpec, lo: int, hi: int) -> None:
+    """One single-step shortcut over the block: ``pi[v] <- pi[pi[v]]``."""
+    if hi <= lo:
+        return
+    pi = _attach_view(pi_spec)
+    pi[lo:hi] = pi[pi[lo:hi]]
+
+
+def _task_hook(
+    pi_spec: SegSpec,
+    src_spec: SegSpec,
+    dst_spec: SegSpec,
+    lo: int,
+    hi: int,
+) -> bool:
+    """One SV hook pass over a range of the shared edge batch.
+
+    Scatter-min onto observed roots (the FastSV-style min-hook); returns
+    True when the block attempted any hook.  A racing overwrite can lose a
+    hook, but the loser's block already reported "changed", so the
+    pipeline's convergence test (a full pass with *no* change anywhere)
+    remains sound.
+    """
+    if hi <= lo:
+        return False
+    pi = _attach_view(pi_spec)
+    src = _attach_view(src_spec)
+    dst = _attach_view(dst_spec)
+    cu = pi[src[lo:hi]]
+    cv = pi[dst[lo:hi]]
+    mask = (cu < cv) & (pi[cv] == cv)
+    if not mask.any():
+        return False
+    np.minimum.at(pi, cv[mask], cu[mask])
+    return True
+
+
+def _task_check_fix(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    v_lo: int,
+    v_hi: int,
+) -> bool:
+    """Settle sweep over one block: re-link any edge whose endpoints ended
+    in different trees.
+
+    Run after a global compress barrier, so ``pi[u] != pi[v]`` genuinely
+    means "not yet merged" (a lost scatter-min update, or a skipped slot
+    whose sampled twin lost its update).  Returns True when the block had
+    anything to fix, driving the backend's settle loop to a fixpoint.
+    """
+    if v_hi <= v_lo:
+        return False
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    e_lo = int(indptr[v_lo])
+    e_hi = int(indptr[v_hi])
+    if e_hi <= e_lo:
+        return False
+    deg = np.diff(indptr[v_lo : v_hi + 1])
+    src = np.repeat(np.arange(v_lo, v_hi, dtype=VERTEX_DTYPE), deg)
+    dst = indices[e_lo:e_hi]
+    bad = pi[src] != pi[dst]
+    if not bad.any():
+        return False
+    link_batch(pi, src[bad], dst[bad])
+    return True

@@ -19,7 +19,14 @@ from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError
 
-__all__ = ["AlgorithmSpec", "register", "get_algorithm", "available_algorithms", "describe_algorithms"]
+__all__ = [
+    "AlgorithmSpec",
+    "register",
+    "get_algorithm",
+    "available_algorithms",
+    "describe_algorithms",
+    "supported_backends",
+]
 
 #: registry name -> spec.  Populated by :func:`register`.
 _REGISTRY: dict[str, "AlgorithmSpec"] = {}
@@ -116,3 +123,8 @@ def describe_algorithms() -> list[tuple[str, str]]:
     """``(name, description)`` pairs for every registered algorithm."""
     _ensure_builtins()
     return [(n, _REGISTRY[n].description) for n in sorted(_REGISTRY)]
+
+
+def supported_backends(name: str) -> tuple[str, ...]:
+    """Backend kinds algorithm ``name`` supports (registry metadata)."""
+    return get_algorithm(name).backends

@@ -1,0 +1,81 @@
+"""Tests for the worker-scaling curve and the CI smoke benchmark."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_algorithm, worker_scaling_curve
+from repro.bench.smoke import check_against_oracle, main as smoke_main, run_smoke
+from repro.errors import ConfigurationError
+from repro.generators.powerlaw import barabasi_albert_graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return barabasi_albert_graph(400, edges_per_vertex=3, seed=6)
+
+
+class TestWorkerScaling:
+    def test_curve_has_one_entry_per_worker_count(self, small_graph):
+        curve = worker_scaling_curve(small_graph, "afforest", (1, 2), repeats=2)
+        assert sorted(curve) == ["1", "2"]
+        assert all(t > 0 for t in curve.values())
+
+    def test_run_algorithm_records_curve_in_extra(self, small_graph):
+        rec = run_algorithm(
+            small_graph, "afforest", "ba", repeats=2, scaling_workers=(1, 2)
+        )
+        assert rec.extra["worker_scaling"].keys() == {"1", "2"}
+        # The record itself still carries the base (vectorized) timing.
+        assert rec.median_seconds > 0
+
+    def test_no_scaling_key_without_request(self, small_graph):
+        rec = run_algorithm(small_graph, "afforest", "ba", repeats=2)
+        assert "worker_scaling" not in rec.extra
+
+    def test_unsupported_algorithm_raises(self, small_graph):
+        with pytest.raises(ConfigurationError, match="process backend"):
+            worker_scaling_curve(small_graph, "lp", (1,), repeats=2)
+
+    def test_curve_is_json_serializable(self, small_graph):
+        curve = worker_scaling_curve(small_graph, "sv", (1,), repeats=2)
+        assert json.loads(json.dumps(curve)) == curve
+
+
+class TestSmoke:
+    def test_oracle_check_accepts_correct_labels(self, small_graph):
+        from repro.unionfind import sequential_components
+
+        labels = np.asarray(sequential_components(small_graph))
+        assert check_against_oracle(small_graph, labels)
+
+    def test_oracle_check_rejects_wrong_labels(self, small_graph):
+        labels = np.zeros(small_graph.num_vertices, dtype=np.int64)
+        # A single-component labeling is wrong whenever the graph has >1.
+        from repro.unionfind import sequential_components
+
+        ref = np.asarray(sequential_components(small_graph))
+        if len(np.unique(ref)) > 1:
+            assert not check_against_oracle(small_graph, labels)
+
+    def test_run_smoke_passes_and_reports(self):
+        report, failures = run_smoke(repeats=1, workers=2)
+        assert failures == 0
+        assert report["failures"] == 0
+        combos = {
+            (r["dataset"], r["algorithm"], r["backend"])
+            for r in report["records"]
+            if "backend" in r
+        }
+        # Full matrix: 2 graphs x 2 algorithms x 2 backends.
+        assert len(combos) == 8
+        assert all(r.get("matches_oracle", True) for r in report["records"])
+
+    def test_smoke_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = smoke_main(["--repeats", "1", "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["failures"] == 0
+        assert report["records"]

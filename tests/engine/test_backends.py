@@ -100,18 +100,25 @@ class TestProfiling:
     def test_afforest_phase_keys(self, mixed_graph):
         result = engine.run("afforest", mixed_graph, profile=True)
         assert set(result.phase_seconds) == {
-            "L0", "C0", "L1", "C1", "F", "H-gather", "H", "C*",
+            "L0", "C0", "L1", "C1", "F", "H-gather", "H", "C*", "total",
         }
         assert all(s >= 0 for s in result.phase_seconds.values())
 
     def test_sv_phase_keys(self, mixed_graph):
         result = engine.run("sv", mixed_graph, profile=True)
         labels = set(result.phase_seconds)
-        expected = set()
+        expected = {"total"}
         for i in range(1, result.iterations + 1):
             expected.add(f"H{i}")
             expected.add(f"S{i}")
         assert labels == expected
+
+    def test_total_phase_covers_run(self, mixed_graph):
+        result = engine.run("afforest", mixed_graph, profile=True)
+        phases = dict(result.phase_seconds)
+        total = phases.pop("total")
+        # Wall time includes every instrumented phase plus dispatch overhead.
+        assert total >= max(phases.values())
 
     def test_uninstrumented_algorithm_gets_total_phase(self, mixed_graph):
         result = engine.run("lp", mixed_graph, profile=True)

@@ -72,6 +72,23 @@ class TestSolve:
         assert main(["solve", graph_file, "--algorithm", "magic"]) == 1
         assert "unknown algorithm" in capsys.readouterr().err
 
+    def test_process_backend(self, graph_file, capsys):
+        assert main(
+            ["solve", graph_file, "--backend", "process", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "afforest [process]: 2 components" in out
+
+    def test_simulated_backend(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--backend", "simulated"]) == 0
+        assert "afforest [simulated]: 2 components" in capsys.readouterr().out
+
+    def test_backend_unsupported_by_algorithm(self, graph_file, capsys):
+        assert main(
+            ["solve", graph_file, "--algorithm", "lp", "--backend", "process"]
+        ) == 1
+        assert "does not support" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_prints_table(self, graph_file, capsys):
@@ -82,6 +99,29 @@ class TestCompare:
         assert "afforest" in out
         assert "sv" in out
         assert "speedup_vs_afforest" in out
+
+    def test_process_backend_skips_unsupported(self, graph_file, capsys):
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "afforest,lp",
+                "--backend", "process", "--workers", "2",
+                "--repeats", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "note: lp does not support the process backend; skipped" in out
+        assert "afforest" in out
+
+    def test_all_unsupported_is_an_error(self, graph_file, capsys):
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "lp,bfs",
+                "--backend", "process",
+            ]
+        ) == 1
+        assert "no requested algorithm" in capsys.readouterr().err
 
 
 class TestConvert:
