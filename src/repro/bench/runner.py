@@ -17,11 +17,18 @@ import numpy as np
 from repro import engine
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
+from repro.obs import Trace
 
 
 @dataclass
 class BenchmarkRecord:
-    """One (dataset, algorithm) measurement."""
+    """One (dataset, algorithm) measurement.
+
+    ``extra`` holds JSON-ready instrumentation from the profiled sample
+    (counters, ``phase_seconds``, histogram summaries, worker skew);
+    ``trace`` keeps the full span tree of that sample for exporters and
+    is deliberately outside ``extra`` so JSON reports stay flat.
+    """
 
     dataset: str
     algorithm: str
@@ -30,6 +37,7 @@ class BenchmarkRecord:
     p75_seconds: float
     samples: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    trace: Trace | None = None
 
     def speedup_over(self, other: "BenchmarkRecord") -> float:
         """How much faster this record is than ``other``."""
@@ -113,6 +121,12 @@ def run_algorithm(
         extra["iterations"] = first.iterations
     if first.phase_seconds:
         extra["phase_seconds"] = dict(first.phase_seconds)
+    if first.trace is not None:
+        if first.trace.histograms:
+            extra["histograms"] = first.trace.histograms
+        skew = first.trace.worker_skew()
+        if skew:
+            extra["worker_skew"] = skew
     if scaling_workers:
         extra["worker_scaling"] = worker_scaling_curve(
             graph, algorithm, scaling_workers, repeats=repeats, **kwargs
@@ -125,6 +139,7 @@ def run_algorithm(
         p75_seconds=p75,
         samples=samples,
         extra=extra,
+        trace=first.trace,
     )
 
 

@@ -25,6 +25,7 @@ from repro.engine import make_backend
 from repro.generators.lattice import grid_graph
 from repro.generators.powerlaw import barabasi_albert_graph
 from repro.graph.csr import CSRGraph
+from repro.obs import TRACE_FORMATS, write_trace
 from repro.unionfind.sequential import sequential_components
 
 #: (dataset name, builder) pairs — small enough for a sub-minute CI job
@@ -113,6 +114,29 @@ def run_smoke(
     return report, failures
 
 
+def export_smoke_trace(path: str, *, format: str = "chrome", workers: int = 2) -> None:
+    """Write one profiled process-backend Afforest trace to ``path``.
+
+    CI archives this next to the JSON report so a regression in worker
+    telemetry (missing phase spans, empty worker tracks) is visible as a
+    broken/empty artifact rather than only through unit tests.
+    """
+    import repro.engine as engine
+
+    dataset, build = SMOKE_GRAPHS[0]
+    graph = build()
+    with engine.ProcessParallelBackend(workers=workers) as backend:
+        result = engine.run("afforest", graph, backend=backend, profile=True)
+    assert result.trace is not None
+    write_trace(result.trace, path, format=format)
+    spans = sum(1 for _ in result.trace.walk())
+    tracks = len(result.trace.tracks())
+    print(
+        f"trace written to {path} ({format}; {dataset}, {spans} spans, "
+        f"{tracks} worker tracks)"
+    )
+
+
 def _last_labels(graph: CSRGraph, algorithm: str, backend) -> np.ndarray:
     """One fresh labeling on ``backend`` for the oracle check.
 
@@ -142,6 +166,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also record a 1/2/4-worker scaling curve per graph",
     )
+    parser.add_argument(
+        "--trace-out",
+        help="also export a profiled process-backend Afforest trace here",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace file format (default: chrome, Perfetto-loadable)",
+    )
     args = parser.parse_args(argv)
     report, failures = run_smoke(
         repeats=args.repeats, workers=args.workers, scaling=args.scaling
@@ -150,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
         print(f"report written to {args.output}")
+    if args.trace_out:
+        export_smoke_trace(
+            args.trace_out, format=args.trace_format, workers=args.workers
+        )
     if failures:
         print(f"error: {failures} configuration(s) disagree with the "
               "union-find oracle", file=sys.stderr)

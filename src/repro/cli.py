@@ -8,6 +8,13 @@ Commands
 ``solve``     compute connected components and optionally save the labels
 ``compare``   run several algorithms on one graph and print a timing table
 ``convert``   translate between the supported graph file formats
+``trace``     render a saved execution trace as an ASCII timeline
+
+``solve`` and ``compare`` accept ``--trace-out PATH`` (with
+``--trace-format {jsonl,chrome}``) to export the telemetry trace of the
+profiled run; chrome-format files load directly into Perfetto /
+``chrome://tracing``, and either format round-trips through
+``repro trace PATH``.
 
 Graphs are referenced either by a file path (``.el``/``.txt``/``.graph``/
 ``.metis``/``.npz``) or by a dataset spec ``dataset:<name>[:<size>]``
@@ -34,6 +41,13 @@ from repro.generators.datasets import DATASETS, SIZE_TIERS, load_dataset
 from repro.graph.csr import CSRGraph
 from repro.graph.io import load_graph, save_graph
 from repro.graph.properties import summarize
+from repro.obs import (
+    TRACE_FORMATS,
+    load_trace,
+    render_trace,
+    skew_lines,
+    write_trace,
+)
 
 
 def _resolve_graph(spec: str, seed: int) -> CSRGraph:
@@ -84,7 +98,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     backend = make_backend(args.backend, workers=args.workers)
     try:
         t0 = time.perf_counter()
-        result = repro.engine.run(args.algorithm, graph, backend=backend)
+        result = repro.engine.run(
+            args.algorithm, graph, backend=backend,
+            trace=bool(args.trace_out),
+        )
         elapsed = time.perf_counter() - t0
     finally:
         backend.close()
@@ -98,6 +115,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.output:
         np.savez_compressed(args.output, labels=labels)
         print(f"labels written to {args.output}")
+    if args.trace_out and result.trace is not None:
+        write_trace(result.trace, args.trace_out, format=args.trace_format)
+        print(f"trace written to {args.trace_out} ({args.trace_format})")
     return 0
 
 
@@ -154,7 +174,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.profile:
         for rec in records:
             _print_profile(rec)
+    if args.trace_out:
+        _write_compare_traces(records, args.trace_out, args.trace_format)
     return 0
+
+
+def _write_compare_traces(records, path: str, format: str) -> None:
+    """Export each record's profiled-sample trace.
+
+    One algorithm writes exactly ``path``; several write ``stem-algo.ext``
+    siblings so each algorithm's trace stays a self-contained file.
+    """
+    from pathlib import Path
+
+    traced = [rec for rec in records if rec.trace is not None]
+    base = Path(path)
+    for rec in traced:
+        dest = (
+            base
+            if len(traced) == 1
+            else base.with_name(f"{base.stem}-{rec.algorithm}{base.suffix}")
+        )
+        write_trace(rec.trace, dest, format=format)
+        print(f"trace written to {dest} ({format}, {rec.algorithm})")
 
 
 def _print_profile(rec) -> None:
@@ -184,6 +226,17 @@ def _print_profile(rec) -> None:
     if counters:
         parts = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
         print(f"  counters: {parts}")
+    skew = rec.extra.get("worker_skew")
+    if skew:
+        print("  worker skew (max/mean block time per phase):")
+        for line in skew_lines(skew):
+            print(f"  {line}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = load_trace(args.path)
+    print(render_trace(trace, width=args.width))
+    return 0
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -233,6 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: one per core, capped at 8)",
         )
 
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            help="export the profiled run's telemetry trace to this path",
+        )
+        p.add_argument(
+            "--trace-format",
+            choices=TRACE_FORMATS,
+            default="chrome",
+            help="trace file format (default: chrome, Perfetto-loadable)",
+        )
+
     p = sub.add_parser("solve", help="compute connected components")
     p.add_argument("graph")
     p.add_argument(
@@ -242,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", help="write labels to an .npz file")
     add_backend_args(p)
+    add_trace_args(p)
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser("compare", help="time several algorithms on one graph")
@@ -257,12 +323,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each algorithm's per-phase wall-time breakdown",
     )
     add_backend_args(p)
+    add_trace_args(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("convert", help="translate between graph file formats")
     p.add_argument("input")
     p.add_argument("output")
     p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser(
+        "trace", help="render a saved trace (jsonl or chrome) as ASCII"
+    )
+    p.add_argument("path")
+    p.add_argument(
+        "--width", type=int, default=48, help="timeline column width"
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

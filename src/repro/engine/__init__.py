@@ -62,6 +62,7 @@ from repro.engine.registry import (
 from repro.engine.result import CCResult
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
+from repro.obs import Trace, Tracer
 
 __all__ = [
     "run",
@@ -73,6 +74,8 @@ __all__ = [
     "AlgorithmSpec",
     "CCResult",
     "Instrumentation",
+    "Trace",
+    "Tracer",
     "ExecutionBackend",
     "VectorizedBackend",
     "SimulatedBackend",
@@ -94,6 +97,7 @@ def run(
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
     profile: bool = False,
+    trace: Tracer | bool | None = None,
     **params,
 ) -> CCResult:
     """Run registered algorithm ``name`` on ``graph`` and return its result.
@@ -104,13 +108,20 @@ def run(
     :func:`~repro.engine.backends.make_backend` with ``workers`` and torn
     down after the run), or ``None`` for a fresh
     :class:`~repro.engine.backends.VectorizedBackend`.  The algorithm must
-    list the backend's kind in its registry metadata.  ``profile=True``
-    records per-phase wall seconds into ``result.phase_seconds``, always
-    including a whole-run ``total`` phase so per-phase overhead (worker
+    list the backend's kind in its registry metadata.
+
+    ``profile=True`` (or ``trace=True``, or passing a pre-built
+    :class:`~repro.obs.Tracer`) turns on the telemetry layer: every
+    pipeline phase is recorded as an attributed span (plus per-worker
+    spans on the process backend), and the finished
+    :class:`~repro.obs.Trace` lands in ``result.trace``.
+    ``result.phase_seconds`` is derived from that trace and always
+    includes a whole-run ``total`` phase so per-phase overhead (worker
     dispatch, shared-memory setup) is visible; algorithms without native
-    phase instrumentation report only ``total``.  Remaining keyword
-    arguments override the algorithm's registered defaults and are
-    forwarded to its pipeline.
+    phase instrumentation report only ``total``.  With telemetry off,
+    ``result.trace`` stays ``None`` and ``phase_seconds`` stays empty.
+    Remaining keyword arguments override the algorithm's registered
+    defaults and are forwarded to its pipeline.
     """
     spec = get_algorithm(name)
     owned = False
@@ -125,12 +136,15 @@ def run(
             f"backend; supported: {list(spec.backends)}"
         )
     merged = {**spec.defaults, **params}
-    instr = Instrumentation(enabled=profile)
+    tracer = trace if isinstance(trace, Tracer) else Tracer(
+        bool(profile) or bool(trace)
+    )
+    instr = Instrumentation(tracer=tracer)
     backend.bind(instr)
     try:
         try:
-            if profile:
-                with instr.timer("total"):
+            if tracer.enabled:
+                with tracer.span("total"):
                     result = spec.fn(graph, backend, **merged)
             else:
                 result = spec.fn(graph, backend, **merged)
@@ -145,8 +159,14 @@ def run(
     result.algorithm = name
     result.backend = backend.kind
     result.params = dict(merged)
-    if profile:
-        result.phase_seconds = instr.seconds
-        if instr.counters:
-            result.counters.update(instr.counters)
+    if tracer.enabled:
+        trace_obj = tracer.finish(
+            algorithm=name,
+            backend=backend.kind,
+            workers=getattr(backend, "workers", None),
+        )
+        result.trace = trace_obj
+        result.phase_seconds = trace_obj.phase_seconds()
+        if trace_obj.counters:
+            result.counters.update(trace_obj.counters)
     return result

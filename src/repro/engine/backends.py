@@ -51,6 +51,7 @@ from repro.engine.partition import (
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.nputil import segment_ranges
+from repro.obs.metrics import POW2_BUCKETS, RATIO_BUCKETS
 from repro.parallel.machine import KernelContext, SimulatedMachine
 from repro.parallel.metrics import RunStats
 
@@ -403,6 +404,12 @@ class VectorizedBackend(ExecutionBackend):
             mask = (cu < cv) & (pi[cv] == cv)
             if not mask.any():
                 return False
+            if self.instr.metrics.enabled:
+                # Label distance each winning hook covers: the Table II
+                # convergence signal (large early, shrinking per pass).
+                self.instr.metrics.histogram(
+                    "hook_distance", POW2_BUCKETS
+                ).observe_many(cv[mask] - cu[mask])
             np.minimum.at(pi, cv[mask], cu[mask])
             return True
 
@@ -547,6 +554,13 @@ class ProcessParallelBackend(ExecutionBackend):
     with a full-edge mismatch sweep until no edge's endpoints sit in
     different trees, repairing any lost updates (usually zero passes).
 
+    When a run is traced, every barrier also collects *per-task worker
+    telemetry*: each block task records its start/end timestamps, pid,
+    and work counters into a shared-memory stats segment, and the parent
+    merges the rows into the trace as per-worker spans (plus a
+    ``block_imbalance`` histogram), so ``compare --profile`` and the
+    Chrome export can show worker skew.
+
     Labels returned through :func:`repro.engine.run` are detached (copied
     out of shared memory) automatically.  When driving pipelines directly,
     call :meth:`close` (or use the backend as a context manager) once the
@@ -579,6 +593,10 @@ class ProcessParallelBackend(ExecutionBackend):
         self._dst_buf: SharedVector | None = None
         self._src_key: np.ndarray | None = None
         self._dst_key: np.ndarray | None = None
+        # Per-task telemetry rows (float64) + pid -> track-name mapping,
+        # only materialised while a traced run is active.
+        self._stats: SharedVector | None = None
+        self._worker_tracks: dict[int, str] = {}
 
     # -- pool / segment management --------------------------------------- #
 
@@ -590,6 +608,68 @@ class ProcessParallelBackend(ExecutionBackend):
 
     def _starmap(self, fn, tasks: list[tuple]) -> list:
         return self._ensure_pool().starmap(fn, tasks)
+
+    # -- per-worker telemetry --------------------------------------------- #
+
+    def _ensure_stats(self, rows: int) -> SharedVector:
+        need = rows * _part.STATS_FIELDS
+        if self._stats is None or self._stats.length < need:
+            self._release(self._stats)
+            self._stats = SharedVector(max(need, 64), dtype=np.float64)
+        return self._stats
+
+    def _barrier(self, fn, tasks: list[tuple], phase: str) -> list:
+        """One ``starmap`` barrier, with per-task telemetry when tracing.
+
+        Untraced runs dispatch the tasks untouched (workers see
+        ``stats=None``).  Traced runs append a ``(stats spec, slot)``
+        handle to every task; workers record start/end timestamps, pid,
+        and work counters into their row of the shared stats segment, and
+        after the barrier the rows are merged into the trace as worker-
+        track spans nested under the open phase span, plus a
+        ``block_imbalance`` histogram sample (max/mean task duration).
+        """
+        tracer = self.instr.tracer
+        if not tracer.enabled:
+            return self._starmap(fn, tasks)
+        stats = self._ensure_stats(len(tasks))
+        stats.array[: len(tasks) * _part.STATS_FIELDS] = 0.0
+        spec = stats.spec
+        out = self._starmap(
+            fn, [(*t, (spec, i)) for i, t in enumerate(tasks)]
+        )
+        self._merge_worker_stats(phase, stats.array, len(tasks))
+        return out
+
+    def _merge_worker_stats(
+        self, phase: str, rows: np.ndarray, num_tasks: int
+    ) -> None:
+        tracer = self.instr.tracer
+        fields = _part.STATS_FIELDS
+        durations: list[float] = []
+        for i in range(num_tasks):
+            t0, t1, pid, items, aux = rows[i * fields : (i + 1) * fields]
+            if t1 <= 0.0:  # task body never ran (defensive; starmap raises)
+                continue
+            track = self._worker_tracks.setdefault(
+                int(pid), f"worker-{len(self._worker_tracks)}"
+            )
+            tracer.add_span(
+                phase,
+                float(t0),
+                float(t1),
+                track=track,
+                block=i,
+                items=int(items),
+                aux=int(aux),
+            )
+            durations.append(float(t1) - float(t0))
+        if len(durations) >= 2:
+            mean = sum(durations) / len(durations)
+            if mean > 0:
+                self.instr.metrics.histogram(
+                    "block_imbalance", RATIO_BUCKETS
+                ).observe(max(durations) / mean)
 
     def _release(self, vec: SharedVector | None) -> None:
         if vec is not None:
@@ -661,12 +741,13 @@ class ProcessParallelBackend(ExecutionBackend):
         src_spec, dst_spec = self._load_edges(src, dst)
         ranges = partition_ranges(int(src.shape[0]), self.workers)
         with self.instr.timer(phase):
-            self._starmap(
+            self._barrier(
                 _part._task_link_edges,
                 [
                     (pi_spec, src_spec, dst_spec, lo, hi)
                     for lo, hi in ranges
                 ],
+                phase,
             )
         return None
 
@@ -677,12 +758,13 @@ class ProcessParallelBackend(ExecutionBackend):
         pi_spec = self._pi_spec(pi)
         ip_spec, ix_spec, blocks = self._graph_specs(graph)
         with self.instr.timer(phase):
-            self._starmap(
+            self._barrier(
                 _part._task_link_round,
                 [
                     (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi, r)
                     for b in blocks
                 ],
+                phase,
             )
         return None
 
@@ -704,26 +786,29 @@ class ProcessParallelBackend(ExecutionBackend):
         pi_spec = self._pi_spec(pi)
         ip_spec, ix_spec, blocks = self._graph_specs(graph)
         with self.instr.timer(phase):
-            shares = self._starmap(
+            shares = self._barrier(
                 _part._task_link_remaining,
                 [
                     (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi, start, largest)
                     for b in blocks
                 ],
+                phase,
             )
         final = sum(s[0] for s in shares)
         skipped = sum(s[1] for s in shares)
         settle = 0
         cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
-        with self.instr.timer(f"{phase}-settle"):
+        settle_phase = f"{phase}-settle"
+        with self.instr.timer(settle_phase):
             while True:
-                self._compress_barrier(pi)
-                fixed = self._starmap(
+                self._compress_barrier(pi, phase=settle_phase)
+                fixed = self._barrier(
                     _part._task_check_fix,
                     [
                         (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi)
                         for b in blocks
                     ],
+                    settle_phase,
                 )
                 if not any(fixed):
                     break
@@ -735,19 +820,20 @@ class ProcessParallelBackend(ExecutionBackend):
         self.instr.count("settle_passes", settle)
         return final, skipped, None
 
-    def _compress_barrier(self, pi: np.ndarray) -> None:
+    def _compress_barrier(self, pi: np.ndarray, *, phase: str = "C") -> None:
         """One parallel compress pass over π (no timer: callers wrap it)."""
         pi_spec = self._pi_spec(pi)
         ranges = partition_ranges(int(pi.shape[0]), self.workers)
-        self._starmap(
+        self._barrier(
             _part._task_compress,
             [(pi_spec, lo, hi) for lo, hi in ranges],
+            phase,
         )
 
     def compress(self, pi: np.ndarray, *, phase: str) -> None:
         """Global compress barrier: per-block pointer jumping to roots."""
         with self.instr.timer(phase):
-            self._compress_barrier(pi)
+            self._compress_barrier(pi, phase=phase)
         return None
 
     def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
@@ -755,9 +841,10 @@ class ProcessParallelBackend(ExecutionBackend):
         pi_spec = self._pi_spec(pi)
         ranges = partition_ranges(int(pi.shape[0]), self.workers)
         with self.instr.timer(phase):
-            self._starmap(
+            self._barrier(
                 _part._task_shortcut,
                 [(pi_spec, lo, hi) for lo, hi in ranges],
+                phase,
             )
 
     def find_largest(
@@ -785,12 +872,13 @@ class ProcessParallelBackend(ExecutionBackend):
         src_spec, dst_spec = self._load_edges(src, dst)
         ranges = partition_ranges(int(src.shape[0]), self.workers)
         with self.instr.timer(phase):
-            changed = self._starmap(
+            changed = self._barrier(
                 _part._task_hook,
                 [
                     (pi_spec, src_spec, dst_spec, lo, hi)
                     for lo, hi in ranges
                 ],
+                phase,
             )
         return any(changed)
 
@@ -808,10 +896,11 @@ class ProcessParallelBackend(ExecutionBackend):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
-        for vec in (self._pi, self._src_buf, self._dst_buf):
+        for vec in (self._pi, self._src_buf, self._dst_buf, self._stats):
             self._release(vec)
-        self._pi = self._src_buf = self._dst_buf = None
+        self._pi = self._src_buf = self._dst_buf = self._stats = None
         self._src_key = self._dst_key = None
+        self._worker_tracks = {}
         if self._graph_segs is not None:
             for seg in self._graph_segs:
                 self._release(seg)

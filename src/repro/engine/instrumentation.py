@@ -1,17 +1,20 @@
-"""Uniform run instrumentation: phase wall-clock timers and counters.
+"""Compatibility shim over the telemetry layer (:mod:`repro.obs`).
 
-One :class:`Instrumentation` object is threaded through each engine run.
-Backends (and pipelines) wrap their phases in :meth:`Instrumentation.timer`
-so every algorithm — not just Afforest — gets a per-phase wall-time
-breakdown when profiling is requested.  When disabled (the default) every
-helper is a near-no-op, so un-profiled runs pay nothing measurable.
+:class:`Instrumentation` was the engine's original recording substrate
+(flat ``phase label -> wall seconds`` dict plus named counters).  It now
+delegates to a :class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`: ``timer`` opens a span,
+``count`` bumps a counter, and the historical ``seconds`` / ``counters``
+views are derived from the trace, so existing backends and callers keep
+working unchanged while every profiled run produces a full span tree.
+Backends that need richer telemetry (worker spans, histograms) reach the
+substrate directly through ``instr.tracer`` / ``instr.metrics``.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 __all__ = ["Instrumentation"]
 
@@ -25,28 +28,35 @@ class Instrumentation:
     Both stay empty while ``enabled`` is False.
     """
 
-    __slots__ = ("enabled", "seconds", "counters")
+    __slots__ = ("tracer", "metrics")
 
-    def __init__(self, enabled: bool = False) -> None:
-        self.enabled = enabled
-        self.seconds: dict[str, float] = {}
-        self.counters: dict[str, int] = {}
+    def __init__(
+        self, enabled: bool = False, *, tracer: Tracer | None = None
+    ) -> None:
+        if tracer is None:
+            tracer = Tracer(enabled)
+        self.tracer = tracer
+        self.metrics: MetricsRegistry = tracer.metrics
 
-    @contextmanager
-    def timer(self, label: str) -> Iterator[None]:
+    @property
+    def enabled(self) -> bool:
+        """Whether this run records telemetry."""
+        return self.tracer.enabled
+
+    def timer(self, label: str):
         """Context manager accumulating wall time under ``label``."""
-        if not self.enabled:
-            yield
-            return
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.seconds[label] = (
-                self.seconds.get(label, 0.0) + time.perf_counter() - t0
-            )
+        return self.tracer.span(label)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Accumulate ``amount`` under counter ``name`` (when enabled)."""
-        if self.enabled:
-            self.counters[name] = self.counters.get(name, 0) + amount
+        self.metrics.counter(name).inc(amount)
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Flat phase label -> wall seconds view of the spans so far."""
+        return self.tracer.phase_seconds()
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Counter name -> value snapshot."""
+        return self.metrics.counters_snapshot()

@@ -16,10 +16,15 @@ on:
   parent array with zero per-task copying.
 
 The ``_task_*`` functions at the bottom are the worker-side phase bodies:
-each receives segment *specs* (name/length pairs), attaches the segments
-once per process (cached in :data:`_ATTACHED`), and runs the existing
-vectorized kernels (:func:`~repro.core.link.link_batch`, pointer-jumping
-compression) restricted to its block.  Cross-process hooks are plain
+each receives segment *specs* (name/length/dtype tuples), attaches the
+segments once per process (cached in :data:`_ATTACHED`), and runs the
+existing vectorized kernels (:func:`~repro.core.link.link_batch`,
+pointer-jumping compression) restricted to its block.  When the backend
+is tracing, each task additionally receives a ``(stats spec, slot)``
+handle into a shared float64 *stats segment* and records its start/end
+``perf_counter`` timestamps, pid, and work counters into its row
+(:data:`STATS_FIELDS` per task); the parent merges the rows into the
+run's trace as per-worker spans after every barrier.  Cross-process hooks are plain
 scatter-min writes — lock-free, monotone toward smaller labels — so a
 racing write can *lose an update* but never corrupt the forest: every
 value written into ``pi[h]`` is a label drawn from ``h``'s own component
@@ -31,6 +36,8 @@ interleaving.  Lost merges are repaired by the backend's settle loop
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -43,6 +50,7 @@ from repro.nputil import segment_ranges
 
 __all__ = [
     "EdgeBlock",
+    "STATS_FIELDS",
     "SharedVector",
     "partition_csr_blocks",
     "partition_ranges",
@@ -51,8 +59,40 @@ __all__ = [
 
 _DTYPE = np.dtype(VERTEX_DTYPE)
 
-#: segment spec shipped to workers: (shm name, logical element count).
-SegSpec = tuple[str, int]
+#: segment spec shipped to workers: (shm name, element count, dtype str).
+SegSpec = tuple[str, int, str]
+
+# ------------------------------------------------------------------ #
+# per-task telemetry rows (see the module docstring)
+# ------------------------------------------------------------------ #
+
+#: float64 slots per task row in a stats segment.
+STATS_FIELDS = 5
+_SF_T0, _SF_T1, _SF_PID, _SF_ITEMS, _SF_AUX = range(STATS_FIELDS)
+
+#: optional per-task telemetry handle: (stats segment spec, row slot).
+StatsSlot = "tuple[SegSpec, int] | None"
+
+
+def _record_stats(
+    stats, t0: float, items: int = 0, aux: int = 0
+) -> None:
+    """Write a task's telemetry row (no-op when tracing is off).
+
+    ``t0`` is the task-entry ``perf_counter`` stamp; ``items`` counts the
+    task's work units (edge slots linked, π slots compressed); ``aux``
+    carries a phase-specific extra (e.g. skipped slots).  The end stamp
+    is taken here, so call this last.
+    """
+    if stats is None:
+        return
+    spec, slot = stats
+    row = _attach_view(spec)[slot * STATS_FIELDS : (slot + 1) * STATS_FIELDS]
+    row[_SF_T0] = t0
+    row[_SF_T1] = time.perf_counter()
+    row[_SF_PID] = os.getpid()
+    row[_SF_ITEMS] = items
+    row[_SF_AUX] = aux
 
 
 # --------------------------------------------------------------------- #
@@ -135,27 +175,30 @@ def preferred_start_method() -> str:
 
 
 class SharedVector:
-    """A ``VERTEX_DTYPE`` vector living in a shared-memory segment.
+    """A typed vector living in a shared-memory segment.
 
     Created by the parent (``SharedVector(length)``); workers attach by
     name through :func:`_attach_view`.  ``array`` is the parent's live
-    view; ``spec`` is what gets pickled into worker tasks.
+    view; ``spec`` is what gets pickled into worker tasks.  The default
+    dtype is ``VERTEX_DTYPE`` (π, CSR mirrors, edge batches); the process
+    backend's telemetry rows use ``float64`` segments.
     """
 
-    __slots__ = ("shm", "length", "array")
+    __slots__ = ("shm", "length", "dtype", "array")
 
-    def __init__(self, length: int) -> None:
-        nbytes = max(int(length) * _DTYPE.itemsize, 1)
+    def __init__(self, length: int, dtype=VERTEX_DTYPE) -> None:
+        self.dtype = np.dtype(dtype)
+        nbytes = max(int(length) * self.dtype.itemsize, 1)
         self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
         self.length = int(length)
         self.array = np.frombuffer(
-            self.shm.buf, dtype=_DTYPE, count=self.length
+            self.shm.buf, dtype=self.dtype, count=self.length
         )
 
     @property
     def spec(self) -> SegSpec:
         """Pickle-friendly handle workers attach with."""
-        return (self.shm.name, self.length)
+        return (self.shm.name, self.length, self.dtype.str)
 
     def release(self) -> None:
         """Unmap and unlink the segment.
@@ -180,8 +223,11 @@ class SharedVector:
 # worker-side attachment cache
 # --------------------------------------------------------------------- #
 
-#: per-process cache: segment name -> (SharedMemory, full-buffer view).
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+#: per-process cache: segment name -> attached SharedMemory.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: per-process cache: (segment name, dtype str) -> full-buffer view.
+_VIEWS: dict[tuple[str, str], np.ndarray] = {}
 
 
 def _attach_view(spec: SegSpec) -> np.ndarray:
@@ -189,28 +235,33 @@ def _attach_view(spec: SegSpec) -> np.ndarray:
 
     Works identically in workers and in the parent (the parent's own
     mapping is simply re-attached by name), so every ``_task_*`` body can
-    also run inline for debugging.
+    also run inline for debugging.  Legacy two-element specs default to
+    ``VERTEX_DTYPE``.
     """
-    name, length = spec
-    hit = _ATTACHED.get(name)
-    if hit is None:
-        # Attaching re-registers the name with the resource tracker, but
-        # pool workers inherit the parent's tracker (fork and spawn both
-        # pass the fd), so the registration set simply dedupes; cleanup
-        # stays with the parent's release()/unlink().
-        shm = shared_memory.SharedMemory(name=name)
-        view = np.frombuffer(shm.buf, dtype=_DTYPE)
-        _ATTACHED[name] = (shm, view)
-        hit = _ATTACHED[name]
-    return hit[1][:length]
+    name, length = spec[0], spec[1]
+    dtype = np.dtype(spec[2]) if len(spec) > 2 else _DTYPE
+    key = (name, dtype.str)
+    view = _VIEWS.get(key)
+    if view is None:
+        shm = _ATTACHED.get(name)
+        if shm is None:
+            # Attaching re-registers the name with the resource tracker,
+            # but pool workers inherit the parent's tracker (fork and
+            # spawn both pass the fd), so the registration set simply
+            # dedupes; cleanup stays with the parent's release()/unlink().
+            shm = shared_memory.SharedMemory(name=name)
+            _ATTACHED[name] = shm
+        view = np.frombuffer(shm.buf, dtype=dtype)
+        _VIEWS[key] = view
+    return view[:length]
 
 
 def _evict_attached(name: str) -> None:
     """Drop a cached attachment (parent-side, after releasing a segment)."""
-    hit = _ATTACHED.pop(name, None)
-    if hit is not None:
-        shm, _view = hit
-        del _view
+    shm = _ATTACHED.pop(name, None)
+    for key in [k for k in _VIEWS if k[0] == name]:
+        del _VIEWS[key]
+    if shm is not None:
         try:
             shm.close()
         except BufferError:  # pragma: no cover
@@ -229,10 +280,13 @@ def _task_link_round(
     v_lo: int,
     v_hi: int,
     r: int,
+    stats=None,
 ) -> None:
     """Neighbour round ``r`` over one block: link ``(v, N(v)[r])`` for
     every block vertex with degree > r."""
+    t0 = time.perf_counter()
     if v_hi <= v_lo:
+        _record_stats(stats, t0)
         return
     pi = _attach_view(pi_spec)
     indptr = _attach_view(indptr_spec)
@@ -241,10 +295,12 @@ def _task_link_round(
     deg = np.diff(ip)
     sel = np.nonzero(deg > r)[0]
     if sel.size == 0:
+        _record_stats(stats, t0)
         return
     verts = (v_lo + sel).astype(VERTEX_DTYPE)
     nbrs = indices[ip[sel] + r]
     link_batch(pi, verts, nbrs)
+    _record_stats(stats, t0, items=int(sel.size))
 
 
 def _task_link_edges(
@@ -253,14 +309,18 @@ def _task_link_edges(
     dst_spec: SegSpec,
     lo: int,
     hi: int,
+    stats=None,
 ) -> None:
     """Link one contiguous range of a flat shared edge batch."""
+    t0 = time.perf_counter()
     if hi <= lo:
+        _record_stats(stats, t0)
         return
     pi = _attach_view(pi_spec)
     src = _attach_view(src_spec)
     dst = _attach_view(dst_spec)
     link_batch(pi, src[lo:hi], dst[lo:hi])
+    _record_stats(stats, t0, items=hi - lo)
 
 
 def _task_link_remaining(
@@ -271,6 +331,7 @@ def _task_link_remaining(
     v_hi: int,
     start: int,
     largest: int | None,
+    stats=None,
 ) -> tuple[int, int]:
     """Afforest final phase over one block.
 
@@ -278,7 +339,9 @@ def _task_link_remaining(
     current label differs from ``largest``; returns ``(linked, skipped)``
     slot counts (the per-block shares of ``edges_final``/``edges_skipped``).
     """
+    t0 = time.perf_counter()
     if v_hi <= v_lo:
+        _record_stats(stats, t0)
         return 0, 0
     pi = _attach_view(pi_spec)
     indptr = _attach_view(indptr_spec)
@@ -294,14 +357,16 @@ def _task_link_remaining(
     counts = np.maximum(deg - start, 0)
     total = int(counts.sum())
     if total == 0:
+        _record_stats(stats, t0, aux=skipped)
         return 0, skipped
     src = np.repeat(verts, counts)
     offsets = np.repeat(indptr[verts] + start, counts) + segment_ranges(counts)
     link_batch(pi, src, indices[offsets])
+    _record_stats(stats, t0, items=total, aux=skipped)
     return total, skipped
 
 
-def _task_compress(pi_spec: SegSpec, lo: int, hi: int) -> None:
+def _task_compress(pi_spec: SegSpec, lo: int, hi: int, stats=None) -> None:
     """Compress the block's π slots to their roots by pointer jumping.
 
     Reads may cross block boundaries but writes stay inside ``[lo, hi)``,
@@ -310,23 +375,31 @@ def _task_compress(pi_spec: SegSpec, lo: int, hi: int) -> None:
     phase (no links run concurrently), so the loop terminates with every
     block slot pointing at a true root.
     """
+    t0 = time.perf_counter()
     if hi <= lo:
+        _record_stats(stats, t0)
         return
     pi = _attach_view(pi_spec)
+    passes = 0
     while True:
         p = pi[lo:hi].copy()
         gp = pi[p]
         if np.array_equal(gp, p):
+            _record_stats(stats, t0, items=hi - lo, aux=passes)
             return
         pi[lo:hi] = gp
+        passes += 1
 
 
-def _task_shortcut(pi_spec: SegSpec, lo: int, hi: int) -> None:
+def _task_shortcut(pi_spec: SegSpec, lo: int, hi: int, stats=None) -> None:
     """One single-step shortcut over the block: ``pi[v] <- pi[pi[v]]``."""
+    t0 = time.perf_counter()
     if hi <= lo:
+        _record_stats(stats, t0)
         return
     pi = _attach_view(pi_spec)
     pi[lo:hi] = pi[pi[lo:hi]]
+    _record_stats(stats, t0, items=hi - lo)
 
 
 def _task_hook(
@@ -335,6 +408,7 @@ def _task_hook(
     dst_spec: SegSpec,
     lo: int,
     hi: int,
+    stats=None,
 ) -> bool:
     """One SV hook pass over a range of the shared edge batch.
 
@@ -344,7 +418,9 @@ def _task_hook(
     pipeline's convergence test (a full pass with *no* change anywhere)
     remains sound.
     """
+    t0 = time.perf_counter()
     if hi <= lo:
+        _record_stats(stats, t0)
         return False
     pi = _attach_view(pi_spec)
     src = _attach_view(src_spec)
@@ -353,8 +429,10 @@ def _task_hook(
     cv = pi[dst[lo:hi]]
     mask = (cu < cv) & (pi[cv] == cv)
     if not mask.any():
+        _record_stats(stats, t0, items=hi - lo)
         return False
     np.minimum.at(pi, cv[mask], cu[mask])
+    _record_stats(stats, t0, items=hi - lo, aux=int(mask.sum()))
     return True
 
 
@@ -364,6 +442,7 @@ def _task_check_fix(
     indices_spec: SegSpec,
     v_lo: int,
     v_hi: int,
+    stats=None,
 ) -> bool:
     """Settle sweep over one block: re-link any edge whose endpoints ended
     in different trees.
@@ -373,7 +452,9 @@ def _task_check_fix(
     whose sampled twin lost its update).  Returns True when the block had
     anything to fix, driving the backend's settle loop to a fixpoint.
     """
+    t0 = time.perf_counter()
     if v_hi <= v_lo:
+        _record_stats(stats, t0)
         return False
     pi = _attach_view(pi_spec)
     indptr = _attach_view(indptr_spec)
@@ -381,12 +462,15 @@ def _task_check_fix(
     e_lo = int(indptr[v_lo])
     e_hi = int(indptr[v_hi])
     if e_hi <= e_lo:
+        _record_stats(stats, t0)
         return False
     deg = np.diff(indptr[v_lo : v_hi + 1])
     src = np.repeat(np.arange(v_lo, v_hi, dtype=VERTEX_DTYPE), deg)
     dst = indices[e_lo:e_hi]
     bad = pi[src] != pi[dst]
     if not bad.any():
+        _record_stats(stats, t0, items=e_hi - e_lo)
         return False
     link_batch(pi, src[bad], dst[bad])
+    _record_stats(stats, t0, items=e_hi - e_lo, aux=int(bad.sum()))
     return True

@@ -26,6 +26,7 @@ from repro.engine.backends import ExecutionBackend
 from repro.engine.result import CCResult
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.csr import CSRGraph
+from repro.obs import phase_label
 from repro.unionfind.parent import ParentArray
 
 __all__ = ["afforest_pipeline", "sv_pipeline", "sv_pipeline_edges"]
@@ -106,17 +107,20 @@ def afforest_pipeline(
     deg = np.asarray(graph.degree())
     rng = np.random.default_rng(seed)
 
+    # Phase labels carry the round as a structured attribute (the flat
+    # strings "L0"/"C0"/... are unchanged for phase_seconds consumers).
     for r in range(neighbor_rounds):
+        link_phase = phase_label("L", round=r)
         if sampling == "first":
             result.edges_sampled += int(np.count_nonzero(deg > r))
-            rounds = backend.link_neighbor_round(pi, graph, r, phase=f"L{r}")
+            rounds = backend.link_neighbor_round(pi, graph, r, phase=link_phase)
         else:
             src, dst = _random_round_edges(graph, rng)
             result.edges_sampled += int(src.shape[0])
-            rounds = backend.link_edges(pi, src, dst, phase=f"L{r}")
+            rounds = backend.link_edges(pi, src, dst, phase=link_phase)
         if rounds is not None:
             result.link_rounds.append(rounds)
-        passes = backend.compress(pi, phase=f"C{r}")
+        passes = backend.compress(pi, phase=phase_label("C", round=r))
         if passes is not None:
             result.compress_passes.append(passes)
 
@@ -137,7 +141,7 @@ def afforest_pipeline(
     result.edges_skipped = skipped
     if rounds is not None:
         result.link_rounds.append(rounds)
-    passes = backend.compress(pi, phase="C*")
+    passes = backend.compress(pi, phase=phase_label("C", final=True))
     if passes is not None:
         result.compress_passes.append(passes)
     result.labels = pi
@@ -192,24 +196,27 @@ def sv_pipeline_edges(
         iterations += 1
         if iterations > cap:
             raise ConvergenceError(f"SV exceeded {cap} iterations")
-        changed = backend.hook_pass(pi, src, dst, phase=f"H{iterations}")
+        changed = backend.hook_pass(
+            pi, src, dst, phase=phase_label("H", round=iterations)
+        )
         result.edges_processed += int(src.shape[0])
         if track_depth:
             d = ParentArray(pi).max_depth()
             result.depth_per_iteration.append(d)
             result.max_tree_depth = max(result.max_tree_depth, d)
+        shortcut_phase = phase_label("S", round=iterations)
         if shortcut == "full":
-            backend.compress(pi, phase=f"S{iterations}")
+            backend.compress(pi, phase=shortcut_phase)
         else:
             # The original formulation's single shortcut step per
             # iteration: pi <- pi[pi] once.  Trees shrink gradually and
             # convergence takes more iterations than GAP's full compress.
-            backend.shortcut_step(pi, phase=f"S{iterations}")
+            backend.shortcut_step(pi, phase=shortcut_phase)
         if not changed:
             # With single-step shortcutting the trees may still be deep;
             # converged means no more hooks, so finish compressing now.
             if shortcut == "single":
-                backend.compress(pi, phase="S*")
+                backend.compress(pi, phase=phase_label("S", final=True))
             break
     result.iterations = iterations
     result.run_stats = backend.run_stats()

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import Trace
 from repro.parallel.metrics import RunStats
 
 __all__ = ["CCResult"]
@@ -44,10 +45,11 @@ class CCResult:
     - **traversal counters** (BFS-CC, DOBFS-CC): ``bfs_steps``,
       ``top_down_steps``, ``bottom_up_steps``, ``edges_gathered``,
       ``step_edges``;
-    - **uniform instrumentation**: ``phase_seconds`` (phase label ->
-      wall seconds, populated when ``profile=True``), ``counters``
-      (miscellaneous named counters), ``run_stats`` (work/span statistics
-      when executed on a simulated machine).
+    - **uniform instrumentation**: ``trace`` (the structured span tree
+      recorded when telemetry is on), ``phase_seconds`` (phase label ->
+      wall seconds, derived from the trace when ``profile=True``),
+      ``counters`` (miscellaneous named counters), ``run_stats``
+      (work/span statistics when executed on a simulated machine).
     """
 
     labels: np.ndarray
@@ -83,9 +85,11 @@ class CCResult:
 
     # -- uniform instrumentation ------------------------------------------ #
     #: miscellaneous named counters (algorithm-specific extras).
-    counters: dict = field(default_factory=dict)
-    #: phase label -> wall seconds, populated when profile=True.
-    phase_seconds: dict = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: phase label -> wall seconds, derived from ``trace`` when profiling.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: structured span tree of the run (None with telemetry disabled).
+    trace: Trace | None = None
     run_stats: RunStats | None = None
 
     @property

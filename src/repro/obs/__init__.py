@@ -1,0 +1,63 @@
+"""Observability: span tracing, metrics, exporters, and rendering.
+
+The telemetry layer behind ``engine.run(profile=True, trace=...)``:
+
+- :class:`Tracer` / :class:`Trace` / :class:`Span`
+  (:mod:`repro.obs.trace`) — nested, attributed spans with start/end
+  timestamps; :func:`phase_label` builds labels that carry structured
+  identity (``phase_label("H", round=2) == "H2"``);
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters, gauges,
+  and fixed-bucket histograms, no-ops while disabled;
+- exporters (:mod:`repro.obs.export`) — JSONL events and Chrome
+  ``trace_event`` JSON (Perfetto-loadable), both round-trippable via
+  :func:`load_trace`;
+- :func:`render_trace` (:mod:`repro.obs.render`) — the ASCII
+  timeline/summary printed by ``python -m repro trace``.
+
+The package is self-contained (no imports from :mod:`repro.engine` or
+:mod:`repro.bench` at module scope), so every layer above can build on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    TRACE_FORMATS,
+    load_trace,
+    trace_events,
+    write_chrome,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import (
+    POW2_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.render import render_trace, skew_lines
+from repro.obs.trace import PhaseLabel, Span, Trace, Tracer, phase_label
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseLabel",
+    "POW2_BUCKETS",
+    "RATIO_BUCKETS",
+    "Span",
+    "Trace",
+    "TRACE_FORMATS",
+    "Tracer",
+    "load_trace",
+    "phase_label",
+    "render_trace",
+    "skew_lines",
+    "trace_events",
+    "write_chrome",
+    "write_jsonl",
+    "write_trace",
+]

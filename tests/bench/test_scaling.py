@@ -79,3 +79,37 @@ class TestSmoke:
         report = json.loads(out.read_text())
         assert report["failures"] == 0
         assert report["records"]
+
+    def test_smoke_trace_export(self, tmp_path, capsys):
+        from repro.bench.smoke import export_smoke_trace
+
+        path = tmp_path / "smoke-trace.json"
+        export_smoke_trace(str(path), workers=2)
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "total" in names
+        assert any(e.get("tid", 0) != 0 for e in events if e.get("ph") == "X")
+
+
+class TestRecordTelemetry:
+    def test_profiled_sample_attaches_trace_and_extras(self, small_graph):
+        from repro.engine import ProcessParallelBackend
+
+        with ProcessParallelBackend(workers=2) as backend:
+            rec = run_algorithm(
+                small_graph, "afforest", "ba", repeats=2, backend=backend
+            )
+        assert rec.trace is not None
+        assert rec.extra["phase_seconds"].keys() == rec.trace.phase_seconds().keys()
+        assert "worker_skew" in rec.extra
+        assert all(s["skew"] >= 1.0 for s in rec.extra["worker_skew"].values())
+        assert "histograms" in rec.extra
+        assert "block_imbalance" in rec.extra["histograms"]
+        # Everything in extra (not the trace) must stay JSON-serializable.
+        assert json.loads(json.dumps(rec.extra))
+
+    def test_vectorized_record_has_no_worker_skew(self, small_graph):
+        rec = run_algorithm(small_graph, "afforest", "ba", repeats=2)
+        assert rec.trace is not None
+        assert "worker_skew" not in rec.extra

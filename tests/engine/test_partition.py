@@ -77,8 +77,9 @@ class TestSharedVector:
     def test_roundtrip_and_release(self):
         vec = SharedVector(16)
         vec.array[:] = np.arange(16)
-        name, length = vec.spec
+        name, length, dtype = vec.spec
         assert length == 16
+        assert np.dtype(dtype) == np.int64
         # Another view attached by name sees the same storage.
         from multiprocessing import shared_memory
 

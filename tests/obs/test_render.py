@@ -1,0 +1,61 @@
+"""Tests for the ASCII trace renderer."""
+
+from repro.obs import Span, Trace, render_trace, skew_lines
+from repro.obs.render import timeline_bar
+
+from .test_export import sample_trace
+
+
+class TestTimelineBar:
+    def test_marks_interval_position(self):
+        bar = timeline_bar([(2.0, 4.0)], 0.0, 8.0, 8)
+        assert bar == "··██····"
+
+    def test_nonempty_interval_marks_at_least_one_cell(self):
+        bar = timeline_bar([(0.0, 1e-9)], 0.0, 10.0, 10)
+        assert bar.count("█") >= 1
+
+    def test_zero_total(self):
+        assert timeline_bar([], 0.0, 0.0, 4) == "····"
+
+
+class TestSkewLines:
+    def test_format(self):
+        lines = skew_lines(
+            {"H1": {"max_s": 0.003, "mean_s": 0.002, "skew": 1.5, "tasks": 2.0}}
+        )
+        (line,) = lines
+        assert line.startswith("H1")
+        assert "1.50x" in line
+        assert "2 tasks" in line
+
+    def test_empty(self):
+        assert skew_lines({}) == []
+
+
+class TestRenderTrace:
+    def test_sections(self):
+        text = render_trace(sample_trace())
+        assert text.startswith("trace: sv [process, 2]")
+        # Every main-track span appears in the table; worker rows appear
+        # as tracks, not as tree rows.
+        for label in ("total", "H1", "S1"):
+            assert label in text
+        assert "worker-0" in text and "worker-1" in text
+        assert "worker skew" in text
+        assert "settle_passes=2" in text
+        assert "block_imbalance" in text
+
+    def test_respects_width(self):
+        narrow = render_trace(sample_trace(), width=10)
+        wide = render_trace(sample_trace(), width=60)
+        assert len(narrow.splitlines()[3]) < len(wide.splitlines()[3])
+
+    def test_empty_trace_renders(self):
+        text = render_trace(Trace([]))
+        assert text.startswith("trace:")
+
+    def test_untracked_trace_has_no_worker_sections(self):
+        trace = Trace([Span("total", 0.0, 1.0)])
+        text = render_trace(trace)
+        assert "worker" not in text

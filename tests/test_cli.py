@@ -123,6 +123,104 @@ class TestCompare:
         ) == 1
         assert "no requested algorithm" in capsys.readouterr().err
 
+    def test_profile_on_process_backend_prints_worker_skew(
+        self, graph_file, capsys
+    ):
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "afforest",
+                "--backend", "process", "--workers", "2",
+                "--repeats", "2", "--profile",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "worker skew (max/mean block time per phase)" in out
+        # At least one per-phase skew line with the max/mean ratio.
+        assert "x  (max" in out
+
+    def test_trace_out_per_algorithm_files(self, graph_file, tmp_path, capsys):
+        base = tmp_path / "cmp.json"
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "afforest,sv",
+                "--repeats", "2",
+                "--trace-out", str(base),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for algo in ("afforest", "sv"):
+            path = tmp_path / f"cmp-{algo}.json"
+            assert path.exists()
+            assert f"trace written to {path}" in out
+
+    def test_trace_out_single_algorithm_exact_path(
+        self, graph_file, tmp_path, capsys
+    ):
+        path = tmp_path / "one.json"
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "afforest",
+                "--repeats", "2",
+                "--trace-out", str(path),
+            ]
+        ) == 0
+        assert path.exists()
+
+
+class TestTraceExport:
+    def test_solve_writes_chrome_trace(self, graph_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["solve", graph_file, "--trace-out", str(path)]) == 0
+        assert f"trace written to {path} (chrome)" in capsys.readouterr().out
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        assert any(e.get("name") == "total" for e in events)
+
+    def test_solve_jsonl_format(self, graph_file, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "solve", graph_file,
+                "--trace-out", str(path),
+                "--trace-format", "jsonl",
+            ]
+        ) == 0
+        first = path.read_text().splitlines()[0]
+        import json
+
+        assert json.loads(first)["type"] == "meta"
+
+    def test_solve_without_flag_writes_nothing(self, graph_file, tmp_path):
+        # tmp_path holds only the input graph written by the fixture.
+        assert main(["solve", graph_file]) == 0
+        assert [p.name for p in tmp_path.iterdir()] == ["g.el"]
+
+    def test_trace_subcommand_renders(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        main(
+            [
+                "solve", graph_file,
+                "--backend", "process", "--workers", "2",
+                "--trace-out", str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace: afforest [process")
+        assert "timeline" in out
+        assert "worker-0" in out
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestConvert:
     def test_el_to_metis(self, graph_file, tmp_path, capsys):
