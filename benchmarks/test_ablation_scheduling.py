@@ -14,12 +14,19 @@ constant, scale so well regardless of schedule.
 
 import pytest
 
+from repro import engine
 from repro.bench.report import format_table
-from repro.core import afforest_simulated
+from repro.engine import SimulatedBackend
 from repro.generators import chung_lu_graph
 from repro.parallel import SimulatedMachine
 
 from conftest import register_report
+
+
+def afforest_simulated(graph, machine, **kwargs):
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
 
 SCHEDULES = ("block", "cyclic", "chunk", "dynamic")
 WORKERS = 8

@@ -14,14 +14,24 @@ more often in total; component search (F) adds a small structured probe.
 import numpy as np
 import pytest
 
+from repro import engine
 from repro.analysis.memaccess import reduce_trace
-from repro.baselines import sv_simulated
 from repro.bench.report import format_table
-from repro.core import afforest_simulated
+from repro.engine import SimulatedBackend
 from repro.generators import uniform_random_graph
 from repro.parallel import MemoryTrace, SimulatedMachine
 
 from conftest import bench_size, register_report
+
+
+def afforest_simulated(graph, machine, **kwargs):
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
+
+
+def sv_simulated(graph, machine):
+    return engine.run("sv", graph, backend=SimulatedBackend(machine))
 
 #: (log2 n, edge factor) per size tier — the simulated machine is a pure
 #: Python interpreter loop, so Fig. 7 uses deliberately small graphs (the

@@ -15,13 +15,23 @@ overhead — chosen to *stress* the consistency claim, not to flatter it.
 
 import pytest
 
-from repro.baselines import sv_simulated
+from repro import engine
 from repro.bench.report import format_table
-from repro.core import afforest_simulated
+from repro.engine import SimulatedBackend
 from repro.generators import load_dataset
 from repro.parallel import SimulatedMachine
 
 from conftest import register_report
+
+
+def afforest_simulated(graph, machine, **kwargs):
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
+
+
+def sv_simulated(graph, machine):
+    return engine.run("sv", graph, backend=SimulatedBackend(machine))
 
 #: (workers, tau, beta) per architecture profile.
 ARCHITECTURES = {

@@ -16,13 +16,24 @@ stays below SV at every worker count.
 import numpy as np
 import pytest
 
-from repro.baselines import dobfs_cc, sv_simulated
+from repro import engine
+from repro.baselines import dobfs_cc
 from repro.bench.report import format_series
-from repro.core import afforest_simulated
+from repro.engine import SimulatedBackend
 from repro.generators import web_graph
 from repro.parallel import SimulatedMachine, WorkSpanModel
 
 from conftest import register_report
+
+
+def afforest_simulated(graph, machine, **kwargs):
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
+
+
+def sv_simulated(graph, machine):
+    return engine.run("sv", graph, backend=SimulatedBackend(machine))
 
 WORKER_COUNTS = [1, 2, 4, 8, 16, 20]
 _SIZES = {"tiny": 2**9, "small": 2**10, "default": 2**11, "large": 2**12}

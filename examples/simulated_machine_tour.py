@@ -10,11 +10,21 @@ Run:  python examples/simulated_machine_tour.py
 
 from __future__ import annotations
 
+from repro import engine
 from repro.analysis.memaccess import reduce_trace
-from repro.baselines import sv_simulated
-from repro.core import afforest_simulated
+from repro.engine import SimulatedBackend
 from repro.generators import uniform_random_graph
 from repro.parallel import MemoryTrace, SimulatedMachine, WorkSpanModel
+
+
+def afforest_simulated(graph, machine, **kwargs):
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
+
+
+def sv_simulated(graph, machine):
+    return engine.run("sv", graph, backend=SimulatedBackend(machine))
 
 
 def main() -> None:

@@ -39,7 +39,7 @@ from repro.baselines import (
     label_propagation_datadriven,
     shiloach_vishkin,
 )
-from repro.core import AfforestResult, afforest, afforest_simulated
+from repro.core import AfforestResult, afforest
 from repro.engine import CCResult
 from repro.errors import (
     ConfigurationError,
@@ -62,7 +62,6 @@ __all__ = [
     "CCResult",
     "AfforestResult",
     "afforest",
-    "afforest_simulated",
     "connected_components",
     "sequential_components",
     "bfs_cc",

@@ -1,8 +1,12 @@
 """Baseline CC algorithms the paper compares against.
 
+Every baseline is implemented once, as a backend-agnostic pipeline in
+:mod:`repro.engine.pipelines`; the entry points in this package are thin
+deprecated shims over :func:`repro.engine.run` kept for backward
+compatibility.
+
 - :mod:`~repro.baselines.shiloach_vishkin` — the original tree-hooking
-  algorithm (GAP's SV formulation), CSR and edge-list variants plus a
-  simulated-machine version;
+  algorithm (GAP's SV formulation), CSR and edge-list variants;
 - :mod:`~repro.baselines.label_propagation` — synchronous min-label
   propagation and its data-driven (frontier) variant;
 - :mod:`~repro.baselines.bfs_cc` — per-component parallel BFS;
@@ -20,7 +24,6 @@ from repro.baselines.shiloach_vishkin import (
     SVResult,
     shiloach_vishkin,
     shiloach_vishkin_edgelist,
-    sv_simulated,
 )
 
 __all__ = [
@@ -34,5 +37,4 @@ __all__ = [
     "SVResult",
     "shiloach_vishkin",
     "shiloach_vishkin_edgelist",
-    "sv_simulated",
 ]

@@ -1,85 +1,32 @@
-"""BFS-based connected components (paper Sec. II-B).
+"""BFS-based connected components (paper Sec. II-B) — deprecated shim.
 
 Components are identified one at a time: pick an unvisited seed, run a
 parallel (frontier-expanded) BFS labelling everything reached, repeat.
 Each edge is touched once — linear work — but components are processed
 *serially*, which is the weakness Fig. 8c exposes: runtime grows with the
 number of components.
+
+The algorithm is implemented exactly once, as a backend-agnostic pipeline
+(:func:`repro.engine.pipelines.bfs_pipeline`); the entry point here is a
+thin deprecated shim over :func:`repro.engine.run` kept for backward
+compatibility — prefer ``engine.run("bfs", graph)`` in new code.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.constants import NO_VERTEX, VERTEX_DTYPE
+from repro.engine import run as _engine_run
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.nputil import segment_ranges
 
 #: Back-compat alias — BFS-CC runs return the unified engine record.
 BFSCCResult = CCResult
 
 
-def _bfs_label(
-    graph: CSRGraph,
-    labels: np.ndarray,
-    seed: int,
-    step_edges: list[int],
-) -> tuple[int, int]:
-    """Label every vertex reachable from ``seed``; returns (edges, steps)."""
-    indptr, indices = graph.indptr, graph.indices
-    label = int(seed)
-    labels[seed] = label
-    frontier = np.asarray([seed], dtype=VERTEX_DTYPE)
-    edges = 0
-    steps = 0
-    while frontier.size:
-        steps += 1
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        offsets = np.repeat(starts, counts) + segment_ranges(counts)
-        nbrs = indices[offsets]
-        edges += total
-        step_edges.append(total)
-        fresh = nbrs[labels[nbrs] == int(NO_VERTEX)]
-        if fresh.size == 0:
-            break
-        fresh = np.unique(fresh)
-        labels[fresh] = label
-        frontier = fresh
-    return edges, steps
-
-
 def bfs_cc(graph: CSRGraph) -> CCResult:
-    """Connected components via repeated parallel BFS."""
-    n = graph.num_vertices
-    labels = np.full(n, int(NO_VERTEX), dtype=VERTEX_DTYPE)
-    edges = 0
-    steps = 0
-    components = 0
-    step_edges: list[int] = []
-    # Seeds are scanned in id order; the cursor never revisits labelled
-    # prefix entries, so the scan is O(n) total.
-    cursor = 0
-    while cursor < n:
-        if labels[cursor] != int(NO_VERTEX):
-            cursor += 1
-            continue
-        components += 1
-        e, s = _bfs_label(graph, labels, cursor, step_edges)
-        edges += e
-        steps += s
-        cursor += 1
-    # step_edges: edges examined per frontier expansion, in execution order
-    # — the per-parallel-phase work profile used by the scaling model
-    # (Fig. 8b).  num_components is derived from the labeling (one unique
-    # seed label per component).
-    return CCResult(
-        labels=labels,
-        edges_processed=edges,
-        bfs_steps=steps,
-        step_edges=step_edges,
-    )
+    """Connected components via repeated parallel BFS (vectorized).
+
+    .. deprecated:: 1.2
+        Equivalent to ``engine.run("bfs", graph)``; prefer the engine
+        call in new code — it exposes backend selection and telemetry.
+    """
+    return _engine_run("bfs", graph)

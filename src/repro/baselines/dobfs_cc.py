@@ -1,4 +1,5 @@
-"""Direction-optimizing BFS connected components (Beamer et al. [1, 7]).
+"""Direction-optimizing BFS connected components (Beamer et al. [1, 7]) —
+deprecated shim.
 
 Like :mod:`~repro.baselines.bfs_cc` but each BFS step chooses between
 
@@ -13,92 +14,23 @@ The switch follows GAP's heuristic: go bottom-up when the frontier's
 out-degree exceeds ``remaining_edges / alpha``; return to top-down when the
 frontier shrinks below ``n / beta`` (defaults alpha=15, beta=18).
 
-The implementation is vectorized; since NumPy cannot early-exit inside a
-gather, the bottom-up step computes the *first-hit position* per vertex
-with a segmented min and reports two work numbers: ``edges_processed``
-(early-exit semantics, the number a real CPU/GPU implementation touches —
-used by all work-efficiency comparisons) and the actual gathered volume
-(wall-clock cost in this substrate).
+The algorithm is implemented exactly once, as a backend-agnostic pipeline
+(:func:`repro.engine.pipelines.dobfs_pipeline`); the entry point here is a
+thin deprecated shim over :func:`repro.engine.run` kept for backward
+compatibility — prefer ``engine.run("dobfs", graph)`` in new code.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.constants import NO_VERTEX, VERTEX_DTYPE
+from repro.engine import run as _engine_run
+from repro.engine.pipelines import DEFAULT_ALPHA, DEFAULT_BETA
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.nputil import segment_ranges
 
-#: GAP's direction-switch parameters.
-DEFAULT_ALPHA = 15.0
-DEFAULT_BETA = 18.0
+__all__ = ["DEFAULT_ALPHA", "DEFAULT_BETA", "DOBFSResult", "dobfs_cc"]
 
 #: Back-compat alias — DOBFS-CC runs return the unified engine record.
 DOBFSResult = CCResult
-
-
-def _top_down_step(
-    graph: CSRGraph,
-    labels: np.ndarray,
-    frontier: np.ndarray,
-    label: int,
-) -> tuple[np.ndarray, int]:
-    """Expand the frontier; returns (new frontier, edges examined)."""
-    indptr, indices = graph.indptr, graph.indices
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE), 0
-    offsets = np.repeat(starts, counts) + segment_ranges(counts)
-    nbrs = indices[offsets]
-    fresh = np.unique(nbrs[labels[nbrs] == int(NO_VERTEX)])
-    labels[fresh] = label
-    return fresh.astype(VERTEX_DTYPE), total
-
-
-def _bottom_up_step(
-    graph: CSRGraph,
-    labels: np.ndarray,
-    in_frontier: np.ndarray,
-    label: int,
-) -> tuple[np.ndarray, int, int]:
-    """Bottom-up sweep over unvisited vertices.
-
-    Returns (new frontier, modeled early-exit edges, gathered edges).
-    """
-    indptr, indices = graph.indptr, graph.indices
-    unvisited = np.nonzero(labels == int(NO_VERTEX))[0].astype(VERTEX_DTYPE)
-    if unvisited.size == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE), 0, 0
-    starts = indptr[unvisited]
-    counts = (indptr[unvisited + 1] - starts).astype(VERTEX_DTYPE)
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE), 0, 0
-    offsets = np.repeat(starts, counts) + segment_ranges(counts)
-    hit = in_frontier[indices[offsets]]
-
-    # Segmented first-hit position (within each vertex's neighbour list):
-    # positions where no hit get the segment length (i.e. "scanned all").
-    within = segment_ranges(counts)
-    pos_or_len = np.where(hit, within, np.repeat(counts, counts))
-    nonempty = counts > 0
-    seg_starts = np.zeros(unvisited.shape[0], dtype=np.int64)
-    np.cumsum(counts[:-1], out=seg_starts[1:])
-    first_hit = np.minimum.reduceat(pos_or_len, seg_starts[nonempty])
-
-    found_nonempty = first_hit < counts[nonempty]
-    found_verts = unvisited[nonempty][found_nonempty]
-    labels[found_verts] = label
-
-    # Early-exit model: scanned first_hit + 1 slots on a hit, the whole
-    # list otherwise.
-    modeled = int(
-        np.where(found_nonempty, first_hit + 1, counts[nonempty]).sum()
-    )
-    return found_verts.astype(VERTEX_DTYPE), modeled, total
 
 
 def dobfs_cc(
@@ -107,74 +39,11 @@ def dobfs_cc(
     alpha: float = DEFAULT_ALPHA,
     beta: float = DEFAULT_BETA,
 ) -> CCResult:
-    """Connected components via direction-optimizing BFS."""
-    n = graph.num_vertices
-    labels = np.full(n, int(NO_VERTEX), dtype=VERTEX_DTYPE)
-    deg = np.asarray(graph.degree())
-    total_directed = graph.num_directed_edges
+    """Connected components via direction-optimizing BFS (vectorized).
 
-    edges_modeled = 0
-    edges_gathered = 0
-    td_steps = 0
-    bu_steps = 0
-    components = 0
-    step_edges: list[int] = []
-
-    # GAP's heuristic state: edges_to_check counts unexplored out-degree
-    # and only ever decreases; scout is the current frontier's out-degree.
-    edges_to_check = total_directed
-    cursor = 0
-    while cursor < n:
-        if labels[cursor] != int(NO_VERTEX):
-            cursor += 1
-            continue
-        components += 1
-        label = cursor
-        labels[cursor] = label
-        frontier = np.asarray([cursor], dtype=VERTEX_DTYPE)
-        while frontier.size:
-            scout = int(deg[frontier].sum())
-            if scout > edges_to_check / alpha:
-                # Bottom-up regime: sweep until the frontier both shrinks
-                # and drops below n / beta (GAP's do-while hysteresis).
-                awake = frontier.shape[0]
-                while True:
-                    in_frontier = np.zeros(n, dtype=bool)
-                    in_frontier[frontier] = True
-                    frontier, modeled, gathered = _bottom_up_step(
-                        graph, labels, in_frontier, label
-                    )
-                    edges_modeled += modeled
-                    edges_gathered += gathered
-                    step_edges.append(modeled)
-                    bu_steps += 1
-                    prev_awake, awake = awake, frontier.shape[0]
-                    if awake == 0 or (
-                        awake < prev_awake and awake <= n / beta
-                    ):
-                        break
-                edges_to_check = max(
-                    edges_to_check - int(deg[frontier].sum()), 0
-                )
-            else:
-                edges_to_check = max(edges_to_check - scout, 0)
-                frontier, examined = _top_down_step(
-                    graph, labels, frontier, label
-                )
-                edges_modeled += examined
-                edges_gathered += examined
-                step_edges.append(examined)
-                td_steps += 1
-        cursor += 1
-    # step_edges: modeled edges examined per step, in execution order
-    # (Fig. 8b input).  edges_processed is the early-exit model (what real
-    # hardware touches); edges_gathered the vectorized gather volume.
-    return CCResult(
-        labels=labels,
-        edges_processed=edges_modeled,
-        edges_gathered=edges_gathered,
-        top_down_steps=td_steps,
-        bottom_up_steps=bu_steps,
-        bfs_steps=td_steps + bu_steps,
-        step_edges=step_edges,
-    )
+    .. deprecated:: 1.2
+        Equivalent to ``engine.run("dobfs", graph, alpha=..., beta=...)``;
+        prefer the engine call in new code — it exposes backend selection
+        and telemetry.
+    """
+    return _engine_run("dobfs", graph, alpha=alpha, beta=beta)

@@ -1,4 +1,4 @@
-"""Min-label propagation CC (paper Sec. II-B).
+"""Min-label propagation CC (paper Sec. II-B) — deprecated shims.
 
 Every vertex starts with a unique label; iterations propagate the minimum
 label across edges until a fixpoint.  Work is ``O(D · |E|)`` in the
@@ -6,87 +6,40 @@ synchronous variant — the diameter dependence the paper contrasts against.
 The *data-driven* variant keeps a frontier of vertices whose label changed
 and only processes their edges, trading work for frontier maintenance
 (Sec. II-B's discussion of [6]).
+
+Both algorithms are implemented exactly once, as backend-agnostic
+pipelines (:func:`repro.engine.pipelines.lp_pipeline` /
+:func:`repro.engine.pipelines.lp_datadriven_pipeline`); the entry points
+here are thin deprecated shims over :func:`repro.engine.run` kept for
+backward compatibility — prefer ``engine.run("lp", graph)`` /
+``engine.run("lp-datadriven", graph)`` in new code.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.constants import ITERATION_CAP_FACTOR, ITERATION_CAP_SLACK, VERTEX_DTYPE
+from repro.engine import run as _engine_run
 from repro.engine.result import CCResult
-from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
-from repro.nputil import segment_ranges
 
 #: Back-compat alias — LP runs return the unified engine record.
 LPResult = CCResult
 
 
-def _lp_result(labels: np.ndarray, iterations: int, edges: int) -> CCResult:
-    return CCResult(labels=labels, iterations=iterations, edges_processed=edges)
-
-
 def label_propagation(graph: CSRGraph) -> CCResult:
-    """Synchronous min-label propagation.
+    """Synchronous min-label propagation (vectorized).
 
-    Each iteration scatter-mins every edge's source label into its
-    destination; convergence when no label changes.  Iteration count is
-    within a factor of the graph diameter.
+    .. deprecated:: 1.2
+        Equivalent to ``engine.run("lp", graph)``; prefer the engine call
+        in new code — it exposes backend selection and telemetry.
     """
-    n = graph.num_vertices
-    labels = np.arange(n, dtype=VERTEX_DTYPE)
-    if n == 0 or graph.num_directed_edges == 0:
-        return _lp_result(labels, 0, 0)
-    src, dst = graph.edge_array()
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    edges = 0
-    while True:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(f"label propagation exceeded {cap} iterations")
-        before = labels.copy()
-        np.minimum.at(labels, dst, labels[src])
-        edges += int(src.shape[0])
-        if np.array_equal(labels, before):
-            break
-    return _lp_result(labels, iterations, edges)
+    return _engine_run("lp", graph)
 
 
 def label_propagation_datadriven(graph: CSRGraph) -> CCResult:
-    """Data-driven (frontier) min-label propagation.
+    """Data-driven (frontier) min-label propagation (vectorized).
 
-    Only edges leaving vertices whose label changed last iteration are
-    re-examined, so total work shrinks from ``O(D·|E|)`` toward the sum of
-    per-iteration active-edge counts — at the cost of maintaining the
-    frontier (paper: "at the cost of maintaining a frontier of active
-    vertices").
+    .. deprecated:: 1.2
+        Equivalent to ``engine.run("lp-datadriven", graph)``; prefer the
+        engine call in new code.
     """
-    n = graph.num_vertices
-    labels = np.arange(n, dtype=VERTEX_DTYPE)
-    if n == 0 or graph.num_directed_edges == 0:
-        return _lp_result(labels, 0, 0)
-    indptr, indices = graph.indptr, graph.indices
-    frontier = np.arange(n, dtype=VERTEX_DTYPE)
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    edges = 0
-    while frontier.size:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(
-                f"data-driven label propagation exceeded {cap} iterations"
-            )
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
-        if total == 0:
-            break
-        src = np.repeat(frontier, counts)
-        offsets = np.repeat(indptr[frontier], counts) + segment_ranges(counts)
-        dst = indices[offsets]
-        edges += total
-        before = labels.copy()
-        np.minimum.at(labels, dst, labels[src])
-        changed = np.nonzero(labels != before)[0].astype(VERTEX_DTYPE)
-        frontier = changed
-    return _lp_result(labels, iterations, edges)
+    return _engine_run("lp-datadriven", graph)

@@ -14,8 +14,10 @@ points here select input layout and substrate:
 
 - :func:`shiloach_vishkin` — vectorized, CSR input (the GAP CPU baseline);
 - :func:`shiloach_vishkin_edgelist` — vectorized, flat COO input (the
-  Soman et al. GPU layout);
-- :func:`sv_simulated` — generator kernels on the simulated machine.
+  Soman et al. GPU layout).
+
+For other substrates call the engine directly, e.g.
+``engine.run("sv", graph, backend=SimulatedBackend(machine))``.
 """
 
 from __future__ import annotations
@@ -23,11 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import run as _engine_run
-from repro.engine.backends import SimulatedBackend, VectorizedBackend
+from repro.engine.backends import VectorizedBackend
 from repro.engine.pipelines import sv_pipeline_edges
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.parallel.machine import SimulatedMachine
 
 #: Back-compat alias — SV runs return the unified engine record.
 SVResult = CCResult
@@ -68,20 +69,3 @@ def shiloach_vishkin_edgelist(
     result.algorithm = "sv"
     result.backend = "vectorized"
     return result
-
-
-def sv_simulated(
-    graph: CSRGraph,
-    machine: SimulatedMachine,
-) -> CCResult:
-    """SV on the simulated parallel machine (instrumented).
-
-    .. deprecated:: 1.1
-        Equivalent to ``engine.run("sv", graph,
-        backend=SimulatedBackend(machine))``; prefer the engine call in
-        new code.  This shim is kept for backward compatibility.
-
-    Phase labels: ``I`` init, then per iteration ``H<i>`` hook and ``S<i>``
-    shortcut (Fig. 7a's repeating band structure).
-    """
-    return _engine_run("sv", graph, backend=SimulatedBackend(machine))

@@ -38,6 +38,11 @@ class BenchmarkRecord:
     samples: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
     trace: Trace | None = None
+    #: execution substrate the samples ran on ("vectorized" / "simulated"
+    #: / "process") and its worker count (None for single-substrate runs),
+    #: so scaling reports can group records without re-parsing kwargs.
+    backend: str = "vectorized"
+    workers: int | None = None
 
     def speedup_over(self, other: "BenchmarkRecord") -> float:
         """How much faster this record is than ``other``."""
@@ -131,6 +136,10 @@ def run_algorithm(
         extra["worker_scaling"] = worker_scaling_curve(
             graph, algorithm, scaling_workers, repeats=repeats, **kwargs
         )
+    backend_obj = kwargs.get("backend")
+    workers = getattr(backend_obj, "workers", None)
+    if workers is None:
+        workers = kwargs.get("workers")
     return BenchmarkRecord(
         dataset=dataset,
         algorithm=algorithm,
@@ -140,6 +149,8 @@ def run_algorithm(
         samples=samples,
         extra=extra,
         trace=first.trace,
+        backend=first.backend or "vectorized",
+        workers=workers,
     )
 
 

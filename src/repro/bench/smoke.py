@@ -1,7 +1,8 @@
 """Oracle-checked smoke benchmark: ``python -m repro.bench.smoke``.
 
 A deliberately small, fast benchmark meant for continuous integration:
-it times Afforest and Shiloach–Vishkin on a power-law and a lattice
+it times Afforest, Shiloach–Vishkin, and two frontier pipelines
+(data-driven label propagation, BFS-CC) on a power-law and a lattice
 graph, on both the vectorized and the process backend, and validates
 every labeling against the sequential union-find oracle.  Any
 disagreement with the oracle is a hard failure (non-zero exit), so the
@@ -35,7 +36,10 @@ SMOKE_GRAPHS: tuple[tuple[str, object], ...] = (
     ("lattice-70x70", lambda: grid_graph(70, 70)),
 )
 
-SMOKE_ALGORITHMS = ("afforest", "sv")
+#: Hooking algorithms plus one frontier pipeline of each flavour
+#: (label push, BFS level sweep) so the process backend's frontier task
+#: bodies are exercised end-to-end by CI.
+SMOKE_ALGORITHMS = ("afforest", "sv", "lp-datadriven", "bfs")
 SMOKE_BACKENDS = ("vectorized", "process")
 
 

@@ -36,7 +36,7 @@ from repro.engine import (
     get_algorithm,
     make_backend,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.generators.datasets import DATASETS, SIZE_TIERS, load_dataset
 from repro.graph.csr import CSRGraph
 from repro.graph.io import load_graph, save_graph
@@ -91,9 +91,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    # Validate the name against the registry up front — a typo should fail
+    # Validate the name and the algorithm×backend combination against the
+    # registry up front — a typo or unsupported substrate should fail
     # before the (possibly expensive) graph load, not deep in dispatch.
-    get_algorithm(args.algorithm)
+    spec = get_algorithm(args.algorithm)
+    if not spec.supports_backend(args.backend):
+        raise ConfigurationError(
+            f"algorithm {args.algorithm!r} does not support the "
+            f"{args.backend!r} backend; supported: {list(spec.backends)}"
+        )
     graph = _resolve_graph(args.graph, args.seed)
     backend = make_backend(args.backend, workers=args.workers)
     try:

@@ -3,9 +3,8 @@
 Public entry points:
 
 - :func:`~repro.core.afforest.afforest` — the full Fig. 5 algorithm
-  (neighbour-round sampling + large-component skipping), vectorized;
-- :func:`~repro.core.afforest.afforest_simulated` — the same algorithm on
-  the simulated parallel machine (instrumented, traceable);
+  (neighbour-round sampling + large-component skipping), vectorized
+  (other substrates via ``engine.run("afforest", g, backend=...)``);
 - :func:`~repro.core.link.link` / :func:`~repro.core.compress.compress` —
   the two primitives, scalar form;
 - :mod:`~repro.core.strategies` — the subgraph partitioning strategies of
@@ -15,7 +14,6 @@ Public entry points:
 from repro.core.afforest import (
     AfforestResult,
     afforest,
-    afforest_simulated,
 )
 from repro.core.compress import compress, compress_all, compress_kernel
 from repro.core.incremental import IncrementalConnectivity
@@ -26,7 +24,6 @@ from repro.core.spanning_forest import spanning_forest, spanning_forest_batch
 __all__ = [
     "AfforestResult",
     "afforest",
-    "afforest_simulated",
     "compress",
     "compress_all",
     "compress_kernel",

@@ -17,12 +17,10 @@ Pipeline:
 
 The pipeline itself is implemented exactly once, in
 :func:`repro.engine.pipelines.afforest_pipeline`, against the
-:class:`~repro.engine.backends.ExecutionBackend` primitives; the two
-functions here are the stable entry points selecting the substrate:
-:func:`afforest` (vectorized batch kernels, wall-clock benchmarks) and
-:func:`afforest_simulated` (generator kernels on the
-:class:`~repro.parallel.machine.SimulatedMachine`, instrumented for
-traces and work/span accounting).
+:class:`~repro.engine.backends.ExecutionBackend` primitives;
+:func:`afforest` here is the stable vectorized entry point (wall-clock
+benchmarks).  For other substrates call the engine directly, e.g.
+``engine.run("afforest", graph, backend=SimulatedBackend(machine))``.
 """
 
 from __future__ import annotations
@@ -38,7 +36,6 @@ from repro.constants import (
 # close that cycle, so the engine entry points are resolved at call time.
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
-from repro.parallel.machine import SimulatedMachine
 
 #: Back-compat alias — Afforest runs return the unified engine record.
 AfforestResult = CCResult
@@ -90,43 +87,4 @@ def afforest(
         sample_size=sample_size,
         seed=seed,
         sampling=sampling,
-    )
-
-
-def afforest_simulated(
-    graph: CSRGraph,
-    machine: SimulatedMachine,
-    *,
-    neighbor_rounds: int = DEFAULT_NEIGHBOR_ROUNDS,
-    skip_largest: bool = True,
-    sample_size: int = DEFAULT_SKIP_SAMPLE_SIZE,
-    seed: int = 0,
-) -> CCResult:
-    """Run Afforest on the simulated parallel machine.
-
-    .. deprecated:: 1.1
-        Equivalent to ``engine.run("afforest", graph,
-        backend=SimulatedBackend(machine), ...)``; prefer the engine call
-        in new code.  This shim is kept for backward compatibility.
-
-    Semantically identical to :func:`afforest` but executed concurrently by
-    the machine's workers with per-operation interleaving, producing
-    work/span statistics (``machine.stats``) and, when the machine carries a
-    :class:`~repro.parallel.memtrace.MemoryTrace`, the Fig. 7 access trace.
-
-    Phase labels follow Fig. 7's legend: ``I`` init, ``L<r>`` link rounds,
-    ``C`` compress, ``F`` find-largest, ``H`` final link ("hook"), ``C*``
-    final compress.
-    """
-    from repro import engine
-    from repro.engine.backends import SimulatedBackend
-
-    return engine.run(
-        "afforest",
-        graph,
-        backend=SimulatedBackend(machine),
-        neighbor_rounds=neighbor_rounds,
-        skip_largest=skip_largest,
-        sample_size=sample_size,
-        seed=seed,
     )

@@ -14,8 +14,9 @@ The engine ties four pieces together:
   kernels, :class:`~repro.engine.backends.SimulatedBackend` for the
   simulated parallel machine,
   :class:`~repro.engine.backends.ProcessParallelBackend` for real OS
-  processes over shared-memory π) against which the Afforest and
-  Shiloach–Vishkin pipelines are written exactly once;
+  processes over shared-memory π) against which the Afforest,
+  Shiloach–Vishkin, label-propagation, and BFS/DOBFS pipelines are
+  written exactly once;
 - uniform **instrumentation**
   (:class:`~repro.engine.instrumentation.Instrumentation`) so any
   profiled run yields a per-phase wall-time breakdown.
@@ -50,13 +51,22 @@ from repro.engine.backends import (
 )
 from repro.engine.instrumentation import Instrumentation
 from repro.engine.partition import EdgeBlock, partition_csr_blocks
-from repro.engine.pipelines import afforest_pipeline, sv_pipeline, sv_pipeline_edges
+from repro.engine.pipelines import (
+    afforest_pipeline,
+    bfs_pipeline,
+    dobfs_pipeline,
+    lp_datadriven_pipeline,
+    lp_pipeline,
+    sv_pipeline,
+    sv_pipeline_edges,
+)
 from repro.engine.registry import (
     AlgorithmSpec,
     available_algorithms,
     describe_algorithms,
     get_algorithm,
     register,
+    support_matrix_markdown,
     supported_backends,
 )
 from repro.engine.result import CCResult
@@ -84,7 +94,12 @@ __all__ = [
     "make_backend",
     "EdgeBlock",
     "partition_csr_blocks",
+    "support_matrix_markdown",
     "afforest_pipeline",
+    "bfs_pipeline",
+    "dobfs_pipeline",
+    "lp_datadriven_pipeline",
+    "lp_pipeline",
     "sv_pipeline",
     "sv_pipeline_edges",
 ]

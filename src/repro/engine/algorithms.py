@@ -3,9 +3,10 @@
 Imported lazily by the registry on first lookup.  Each entry binds a
 registry name to its engine entry point with metadata: a one-line
 description, default parameters, and the execution backends it supports.
-Afforest and Shiloach–Vishkin dispatch to the backend-agnostic pipelines
-in :mod:`repro.engine.pipelines`; the remaining algorithms wrap their
-vectorized implementations (which all return the unified
+Afforest, Shiloach–Vishkin, label propagation (both variants), and the
+BFS family all dispatch to the backend-agnostic pipelines in
+:mod:`repro.engine.pipelines`; only the distributed and sequential
+references remain single-substrate wrappers (all return the unified
 :class:`~repro.engine.result.CCResult`).
 """
 
@@ -13,15 +14,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.bfs_cc import bfs_cc
-from repro.baselines.dobfs_cc import dobfs_cc
-from repro.baselines.label_propagation import (
-    label_propagation,
-    label_propagation_datadriven,
-)
 from repro.distributed.dist_cc import distributed_components
 from repro.engine.backends import ExecutionBackend
-from repro.engine.pipelines import afforest_pipeline, sv_pipeline
+from repro.engine.pipelines import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    afforest_pipeline,
+    bfs_pipeline,
+    dobfs_pipeline,
+    lp_datadriven_pipeline,
+    lp_pipeline,
+    sv_pipeline,
+)
 from repro.engine.registry import register
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
@@ -74,41 +78,50 @@ def _run_sv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
 @register(
     "lp",
     description="synchronous min-label propagation (O(D*|E|) work)",
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
 )
 def _run_lp(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for synchronous label propagation."""
-    return label_propagation(graph, **params)
+    return lp_pipeline(graph, backend, **params)
 
 
 @register(
     "lp-datadriven",
     description="data-driven (frontier) min-label propagation",
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
 )
 def _run_lp_datadriven(
     graph: CSRGraph, backend: ExecutionBackend, **params
 ) -> CCResult:
     """Engine entry point for frontier label propagation."""
-    return label_propagation_datadriven(graph, **params)
+    return lp_datadriven_pipeline(graph, backend, **params)
 
 
 @register(
     "bfs",
     description="per-component parallel BFS (linear work, serial over "
     "components)",
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
 )
 def _run_bfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for BFS-CC."""
-    return bfs_cc(graph, **params)
+    return bfs_pipeline(graph, backend, **params)
 
 
 @register(
     "dobfs",
     description="direction-optimizing BFS (Beamer et al.): top-down / "
     "bottom-up switching",
+    defaults={"alpha": DEFAULT_ALPHA, "beta": DEFAULT_BETA},
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
 )
 def _run_dobfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for DOBFS-CC."""
-    return dobfs_cc(graph, **params)
+    return dobfs_pipeline(graph, backend, **params)
 
 
 @register(

@@ -208,6 +208,87 @@ def _shortcut_kernel(
         yield from ctx.write(pi, v, grand)
 
 
+def _fill_kernel(
+    ctx: KernelContext, v: int, pi: np.ndarray, value: int
+) -> Generator[None, None, None]:
+    """Init phase for the BFS pipelines: ``pi[v] <- sentinel``."""
+    yield from ctx.write(pi, v, int(value))
+
+
+def _cas_min(
+    ctx: KernelContext, pi: np.ndarray, v: int, cand: int
+) -> Generator[None, None, bool]:
+    """Atomic-min of ``cand`` into ``pi[v]`` via a CAS retry loop; True
+    when this kernel's write landed."""
+    while True:
+        cur = yield from ctx.read(pi, v)
+        if cand >= cur:
+            return False
+        ok = yield from ctx.cas(pi, v, cur, cand)
+        if ok:
+            return True
+
+
+def _min_label_kernel(
+    ctx: KernelContext,
+    e: int,
+    pi: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    changed: dict,
+) -> Generator[None, None, None]:
+    """Label-propagation edge kernel: atomic-min of π(u) into π(v)."""
+    u = int(src[e])
+    v = int(dst[e])
+    cand = yield from ctx.read(pi, u)
+    won = yield from _cas_min(ctx, pi, v, cand)
+    if won:
+        changed["count"] += 1
+
+
+def _frontier_push_kernel(
+    ctx: KernelContext,
+    u: int,
+    pi: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    changed: set,
+) -> Generator[None, None, None]:
+    """Push one frontier vertex's label onto all its neighbours."""
+    cand = yield from ctx.read(pi, u)
+    lo = int(indptr[u])
+    hi = int(indptr[u + 1])
+    for e in range(lo, hi):
+        v = int(indices[e])
+        won = yield from _cas_min(ctx, pi, v, cand)
+        if won:
+            changed.add(v)
+
+
+def _bottom_up_kernel(
+    ctx: KernelContext,
+    v: int,
+    pi: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    in_frontier: np.ndarray,
+    label: int,
+    counters: dict,
+    found: list,
+) -> Generator[None, None, None]:
+    """Pull step for one unvisited vertex: scan neighbours, stop at the
+    first frontier hit (the frontier mask is parent-owned and read-only
+    for the duration of the step, so it is not a preemption point)."""
+    lo = int(indptr[v])
+    hi = int(indptr[v + 1])
+    for e in range(lo, hi):
+        counters["edges"] += 1
+        if in_frontier[int(indices[e])]:
+            yield from ctx.write(pi, v, int(label))
+            found.append(int(v))
+            return
+
+
 # --------------------------------------------------------------------- #
 # backend interface
 # --------------------------------------------------------------------- #
@@ -228,15 +309,30 @@ class ExecutionBackend:
 
     def __init__(self) -> None:
         self.instr = Instrumentation(False)
+        # Identity-cached flat edge arrays of the last graph seen by
+        # propagate_pass (LP sweeps reuse one batch across all rounds).
+        self._edge_graph: CSRGraph | None = None
+        self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
 
     def bind(self, instr: Instrumentation) -> None:
         """Attach the per-run instrumentation (done by ``engine.run``)."""
         self.instr = instr
 
+    def _edges(self, graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+        """The graph's flat ``(src, dst)`` directed-edge arrays, cached."""
+        if self._edge_graph is not graph:
+            self._edge_graph = graph
+            self._edge_arrays = graph.edge_array()
+        assert self._edge_arrays is not None
+        return self._edge_arrays
+
     # -- primitives ------------------------------------------------------ #
 
-    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
-        """Fresh self-pointing parent array of ``n`` vertices."""
+    def init_labels(
+        self, n: int, *, phase: str = "I", fill: int | None = None
+    ) -> np.ndarray:
+        """Fresh parent array of ``n`` vertices: self-pointing by default,
+        or constant ``fill`` (the BFS pipelines' unvisited sentinel)."""
         raise NotImplementedError
 
     def link_edges(
@@ -290,6 +386,75 @@ class ExecutionBackend:
         """One Shiloach–Vishkin hook pass; True if any parent changed."""
         raise NotImplementedError
 
+    # -- frontier / label primitives ------------------------------------- #
+
+    def propagate_pass(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """One synchronous min-label sweep over every directed edge.
+
+        Returns the number of edges whose source label beat the
+        destination label — zero certifies the fixpoint (a pass reporting
+        no change performed no writes on any substrate).
+        """
+        raise NotImplementedError
+
+    def frontier_expand(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        *,
+        phase: str,
+    ) -> np.ndarray:
+        """Push labels from the active frontier onto its neighbours.
+
+        Returns the next frontier: the sorted unique vertices whose label
+        the push lowered.
+        """
+        raise NotImplementedError
+
+    def bottom_up_pass(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        label: int,
+        sentinel: int,
+        *,
+        phase: str,
+    ) -> tuple[np.ndarray, int, int]:
+        """Pull step: every vertex still carrying ``sentinel`` scans its
+        neighbours and adopts ``label`` when one is in the frontier
+        (boolean/uint8 ``in_frontier`` mask over all vertices).
+
+        Returns ``(next frontier, modeled edges, gathered edges)`` —
+        *modeled* counts the early-exit scan a real machine performs
+        (stop at the first frontier hit), *gathered* whatever the
+        substrate actually touched.
+        """
+        raise NotImplementedError
+
+    def propagate_settle(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """Repair sweeps after an asynchronous/data-driven propagation.
+
+        Substrates whose min-writes are atomic need none (the default:
+        zero passes).  The process backend overrides this with full
+        synchronous sweeps until a pass reports no change, repairing
+        updates lost to non-atomic scatter-min races.
+        """
+        return 0
+
+    def record_frontier(self, size: int, *, phase: str) -> None:
+        """Observe an active-frontier size into the ``frontier_size``
+        histogram (no-op while metrics are disabled)."""
+        if self.instr.metrics.enabled:
+            self.instr.metrics.histogram(
+                "frontier_size", POW2_BUCKETS
+            ).observe(size)
+
     def run_stats(self) -> RunStats | None:
         """Work/span statistics of the substrate, when it collects any."""
         return None
@@ -319,8 +484,13 @@ class VectorizedBackend(ExecutionBackend):
 
     kind = "vectorized"
 
-    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
-        """Identity parent array (no timed phase: a single ``arange``)."""
+    def init_labels(
+        self, n: int, *, phase: str = "I", fill: int | None = None
+    ) -> np.ndarray:
+        """Identity (or constant-``fill``) parent array; not a timed
+        phase — a single ``arange``/``full``."""
+        if fill is not None:
+            return np.full(n, fill, dtype=VERTEX_DTYPE)
         return np.arange(n, dtype=VERTEX_DTYPE)
 
     def link_edges(
@@ -413,6 +583,76 @@ class VectorizedBackend(ExecutionBackend):
             np.minimum.at(pi, cv[mask], cu[mask])
             return True
 
+    def propagate_pass(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """One scatter-min sweep over the flat edge arrays.
+
+        The masked form writes only winning candidates; since labels only
+        decrease within a pass, a candidate that did not beat the
+        pre-pass destination can never win inside the same ``at`` call,
+        so the final π is identical to the unmasked sweep.
+        """
+        src, dst = self._edges(graph)
+        with self.instr.timer(phase):
+            cand = pi[src]
+            won = cand < pi[dst]
+            if not won.any():
+                return 0
+            np.minimum.at(pi, dst[won], cand[won])
+            return int(won.sum())
+
+    def frontier_expand(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        *,
+        phase: str,
+    ) -> np.ndarray:
+        """Gather the frontier's neighbour slots and scatter-min onto them."""
+        with self.instr.timer(phase):
+            empty = np.empty(0, dtype=VERTEX_DTYPE)
+            if frontier.shape[0] == 0:
+                return empty
+            indptr, indices = graph.indptr, graph.indices
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return empty
+            offsets = np.repeat(starts, counts) + segment_ranges(counts)
+            dst = indices[offsets]
+            cand = np.repeat(pi[frontier], counts)
+            won = cand < pi[dst]
+            if not won.any():
+                return empty
+            np.minimum.at(pi, dst[won], cand[won])
+            return np.unique(dst[won]).astype(VERTEX_DTYPE)
+
+    def bottom_up_pass(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        label: int,
+        sentinel: int,
+        *,
+        phase: str,
+    ) -> tuple[np.ndarray, int, int]:
+        """Segmented first-hit pull over all unvisited vertices."""
+        with self.instr.timer(phase):
+            return _part.bottom_up_block(
+                pi,
+                graph.indptr,
+                graph.indices,
+                in_frontier,
+                0,
+                int(pi.shape[0]),
+                label,
+                sentinel,
+            )
+
 
 class SimulatedBackend(ExecutionBackend):
     """Simulated-machine substrate: concurrent semantics, instrumented.
@@ -430,11 +670,19 @@ class SimulatedBackend(ExecutionBackend):
         super().__init__()
         self.machine = machine
 
-    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
-        """Init phase ``I``: every vertex writes its own π slot."""
+    def init_labels(
+        self, n: int, *, phase: str = "I", fill: int | None = None
+    ) -> np.ndarray:
+        """Init phase ``I``: every vertex writes its own π slot (or the
+        constant ``fill`` sentinel)."""
         pi = np.empty(n, dtype=VERTEX_DTYPE)
         with self.instr.timer(phase):
-            self.machine.parallel_for(n, _init_kernel, pi, phase=phase)
+            if fill is not None:
+                self.machine.parallel_for(
+                    n, _fill_kernel, pi, int(fill), phase=phase
+                )
+            else:
+                self.machine.parallel_for(n, _init_kernel, pi, phase=phase)
         return pi
 
     def link_edges(
@@ -534,6 +782,86 @@ class SimulatedBackend(ExecutionBackend):
             )
         return changed["flag"]
 
+    def propagate_pass(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """Concurrent min-label sweep, one CAS-min kernel per edge.
+
+        The CAS retry loop makes each edge's min-write atomic, so no
+        update is ever lost — the sweep converges in the same number of
+        certifying passes as the synchronous substrates.
+        """
+        src, dst = self._edges(graph)
+        changed = {"count": 0}
+        with self.instr.timer(phase):
+            self.machine.parallel_for(
+                int(src.shape[0]),
+                _min_label_kernel,
+                pi,
+                src,
+                dst,
+                changed,
+                phase=phase,
+            )
+        return changed["count"]
+
+    def frontier_expand(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        *,
+        phase: str,
+    ) -> np.ndarray:
+        """Concurrent push, one kernel per frontier vertex."""
+        changed: set = set()
+        with self.instr.timer(phase):
+            if frontier.shape[0]:
+                self.machine.parallel_for(
+                    frontier,
+                    _frontier_push_kernel,
+                    pi,
+                    graph.indptr,
+                    graph.indices,
+                    changed,
+                    phase=phase,
+                )
+        out = np.fromiter(sorted(changed), dtype=VERTEX_DTYPE, count=len(changed))
+        return out
+
+    def bottom_up_pass(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        label: int,
+        sentinel: int,
+        *,
+        phase: str,
+    ) -> tuple[np.ndarray, int, int]:
+        """Concurrent pull, one early-exit scan kernel per unvisited
+        vertex.  The kernel's early exit is real, so modeled == gathered
+        on this substrate."""
+        unvisited = np.nonzero(pi == sentinel)[0].astype(VERTEX_DTYPE)
+        counters = {"edges": 0}
+        found: list = []
+        with self.instr.timer(phase):
+            if unvisited.shape[0]:
+                self.machine.parallel_for(
+                    unvisited,
+                    _bottom_up_kernel,
+                    pi,
+                    graph.indptr,
+                    graph.indices,
+                    in_frontier,
+                    int(label),
+                    counters,
+                    found,
+                    phase=phase,
+                )
+        next_frontier = np.asarray(sorted(found), dtype=VERTEX_DTYPE)
+        return next_frontier, counters["edges"], counters["edges"]
+
     def run_stats(self) -> RunStats:
         """The machine's accumulated work/span statistics."""
         return self.machine.stats
@@ -591,6 +919,9 @@ class ProcessParallelBackend(ExecutionBackend):
         # Reusable flat edge buffers (SV batches, random-sampling rounds).
         self._src_buf: SharedVector | None = None
         self._dst_buf: SharedVector | None = None
+        # Reusable frontier buffer + uint8 frontier mask (BFS pipelines).
+        self._frontier_buf: SharedVector | None = None
+        self._mask_buf: SharedVector | None = None
         self._src_key: np.ndarray | None = None
         self._dst_key: np.ndarray | None = None
         # Per-task telemetry rows (float64) + pid -> track-name mapping,
@@ -717,12 +1048,17 @@ class ProcessParallelBackend(ExecutionBackend):
 
     # -- primitives ------------------------------------------------------ #
 
-    def init_labels(self, n: int, *, phase: str = "I") -> np.ndarray:
-        """Fresh shared-memory identity parent array."""
+    def init_labels(
+        self, n: int, *, phase: str = "I", fill: int | None = None
+    ) -> np.ndarray:
+        """Fresh shared-memory identity (or constant-``fill``) array."""
         self._release(self._pi)
         self._pi = SharedVector(n)
         pi = self._pi.array
-        pi[:] = np.arange(n, dtype=VERTEX_DTYPE)
+        if fill is not None:
+            pi[:] = fill
+        else:
+            pi[:] = np.arange(n, dtype=VERTEX_DTYPE)
         return pi
 
     def _pi_spec(self, pi: np.ndarray):
@@ -882,6 +1218,142 @@ class ProcessParallelBackend(ExecutionBackend):
             )
         return any(changed)
 
+    def _propagate_barrier(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """One parallel min-label sweep (no timer: callers wrap it)."""
+        pi_spec = self._pi_spec(pi)
+        ip_spec, ix_spec, blocks = self._graph_specs(graph)
+        changed = self._barrier(
+            _part._task_propagate,
+            [
+                (pi_spec, ip_spec, ix_spec, b.v_lo, b.v_hi)
+                for b in blocks
+            ],
+            phase,
+        )
+        return int(sum(changed))
+
+    def propagate_pass(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """One parallel scatter-min sweep, one task per CSR edge block.
+
+        Cross-block min-writes can race, but a lost write implies the
+        loser's block reported a change, so a sweep returning zero
+        performed no writes — the pipeline's convergence test is sound.
+        """
+        with self.instr.timer(phase):
+            return self._propagate_barrier(pi, graph, phase=phase)
+
+    def frontier_expand(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        *,
+        phase: str,
+    ) -> np.ndarray:
+        """Parallel push from a shared frontier buffer, sliced into
+        degree-weighted contiguous ranges so skewed frontiers do not pile
+        their edge work onto one worker."""
+        pi_spec = self._pi_spec(pi)
+        ip_spec, ix_spec, _blocks = self._graph_specs(graph)
+        k = int(frontier.shape[0])
+        if k == 0:
+            return np.empty(0, dtype=VERTEX_DTYPE)
+        self._frontier_buf = self._grow_buffer(self._frontier_buf, k)
+        self._frontier_buf.array[:k] = frontier
+        deg = graph.indptr[frontier + 1] - graph.indptr[frontier]
+        ranges = _part.partition_weighted_ranges(deg, self.workers)
+        f_spec = self._frontier_buf.spec
+        with self.instr.timer(phase):
+            parts = self._barrier(
+                _part._task_frontier_expand,
+                [
+                    (pi_spec, ip_spec, ix_spec, f_spec, lo, hi)
+                    for lo, hi in ranges
+                ],
+                phase,
+            )
+        parts = [p for p in parts if p.shape[0]]
+        if not parts:
+            return np.empty(0, dtype=VERTEX_DTYPE)
+        return np.unique(np.concatenate(parts)).astype(VERTEX_DTYPE)
+
+    def bottom_up_pass(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        label: int,
+        sentinel: int,
+        *,
+        phase: str,
+    ) -> tuple[np.ndarray, int, int]:
+        """Parallel pull step, one task per CSR edge block.
+
+        Each block vertex writes only its own π slot, so the step is
+        race-free; block order keeps the concatenated next frontier
+        ascending without a sort.
+        """
+        pi_spec = self._pi_spec(pi)
+        ip_spec, ix_spec, blocks = self._graph_specs(graph)
+        n = int(pi.shape[0])
+        if self._mask_buf is None or self._mask_buf.length < n:
+            self._release(self._mask_buf)
+            self._mask_buf = SharedVector(max(n, 1024), dtype=np.uint8)
+        self._mask_buf.array[:n] = in_frontier
+        m_spec = self._mask_buf.spec
+        with self.instr.timer(phase):
+            parts = self._barrier(
+                _part._task_bottom_up,
+                [
+                    (
+                        pi_spec,
+                        ip_spec,
+                        ix_spec,
+                        m_spec,
+                        b.v_lo,
+                        b.v_hi,
+                        int(label),
+                        int(sentinel),
+                    )
+                    for b in blocks
+                ],
+                phase,
+            )
+        founds = [p[0] for p in parts if p[0].shape[0]]
+        next_frontier = (
+            np.concatenate(founds)
+            if founds
+            else np.empty(0, dtype=VERTEX_DTYPE)
+        )
+        modeled = sum(p[1] for p in parts)
+        gathered = sum(p[2] for p in parts)
+        return next_frontier, int(modeled), int(gathered)
+
+    def propagate_settle(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        """Full synchronous sweeps until a pass reports no change.
+
+        The data-driven frontier push can permanently lose a min-write to
+        a scatter-min race across blocks; a sweep returning zero changes
+        performed no writes, certifying the fixpoint.
+        """
+        settle = 0
+        cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+        with self.instr.timer(phase):
+            while self._propagate_barrier(pi, graph, phase=phase):
+                settle += 1
+                if settle > cap:
+                    raise ConvergenceError(
+                        f"settle loop exceeded {cap} passes — corrupted pi?"
+                    )
+        self.instr.count("settle_passes", settle)
+        return settle
+
     # -- lifecycle ------------------------------------------------------- #
 
     def detach_labels(self, pi: np.ndarray) -> np.ndarray:
@@ -896,9 +1368,17 @@ class ProcessParallelBackend(ExecutionBackend):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
-        for vec in (self._pi, self._src_buf, self._dst_buf, self._stats):
+        for vec in (
+            self._pi,
+            self._src_buf,
+            self._dst_buf,
+            self._frontier_buf,
+            self._mask_buf,
+            self._stats,
+        ):
             self._release(vec)
         self._pi = self._src_buf = self._dst_buf = self._stats = None
+        self._frontier_buf = self._mask_buf = None
         self._src_key = self._dst_key = None
         self._worker_tracks = {}
         if self._graph_segs is not None:

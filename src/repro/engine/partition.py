@@ -52,8 +52,10 @@ __all__ = [
     "EdgeBlock",
     "STATS_FIELDS",
     "SharedVector",
+    "bottom_up_block",
     "partition_csr_blocks",
     "partition_ranges",
+    "partition_weighted_ranges",
     "preferred_start_method",
 ]
 
@@ -161,6 +163,32 @@ def partition_ranges(total: int, num_blocks: int) -> list[tuple[int, int]]:
         raise ConfigurationError(f"num_blocks must be >= 1, got {num_blocks}")
     bounds = np.linspace(0, total, num_blocks + 1).astype(np.int64)
     return [(int(bounds[b]), int(bounds[b + 1])) for b in range(num_blocks)]
+
+
+def partition_weighted_ranges(
+    weights: np.ndarray, num_blocks: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, len(weights))`` into ``num_blocks`` contiguous ``(lo, hi)``
+    ranges of roughly equal total weight.
+
+    Used to cut a frontier into degree-balanced slices: the weights are the
+    frontier vertices' degrees, so each worker expands a similar number of
+    edge slots even when a few high-degree hubs dominate the frontier.
+    Falls back to even item counts when every weight is zero.
+    """
+    if num_blocks < 1:
+        raise ConfigurationError(f"num_blocks must be >= 1, got {num_blocks}")
+    n = int(weights.shape[0])
+    total = int(weights.sum()) if n else 0
+    if total == 0:
+        return partition_ranges(n, num_blocks)
+    cum = np.cumsum(weights)
+    targets = np.linspace(0, total, num_blocks + 1)
+    cuts = np.searchsorted(cum, targets, side="left").astype(np.int64)
+    cuts[0] = 0
+    cuts[-1] = n
+    cuts = np.maximum.accumulate(np.clip(cuts, 0, n))
+    return [(int(cuts[b]), int(cuts[b + 1])) for b in range(num_blocks)]
 
 
 def preferred_start_method() -> str:
@@ -434,6 +462,176 @@ def _task_hook(
     np.minimum.at(pi, cv[mask], cu[mask])
     _record_stats(stats, t0, items=hi - lo, aux=int(mask.sum()))
     return True
+
+
+def bottom_up_block(
+    pi: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    mask: np.ndarray,
+    v_lo: int,
+    v_hi: int,
+    label: int,
+    sentinel: int,
+) -> tuple[np.ndarray, int, int]:
+    """Bottom-up BFS sweep over the unvisited vertices of ``[v_lo, v_hi)``.
+
+    Every block vertex still carrying ``sentinel`` scans its own neighbour
+    list and adopts ``label`` when a neighbour is in the frontier
+    (``mask`` nonzero).  Writes stay inside the block (each vertex writes
+    only its own π slot), so the sweep is race-free across blocks.
+
+    Returns ``(found vertices, modeled edges, gathered edges)`` —
+    ``modeled`` is the early-exit scan count (stop at the first frontier
+    hit, what real hardware touches); ``gathered`` the full vectorized
+    gather volume.  Shared by the vectorized backend (one block spanning
+    all vertices) and the process backend's per-block tasks.
+    """
+    empty = np.empty(0, dtype=VERTEX_DTYPE)
+    block = pi[v_lo:v_hi]
+    unvisited = (v_lo + np.nonzero(block == sentinel)[0]).astype(VERTEX_DTYPE)
+    if unvisited.size == 0:
+        return empty, 0, 0
+    starts = indptr[unvisited]
+    counts = (indptr[unvisited + 1] - starts).astype(VERTEX_DTYPE)
+    total = int(counts.sum())
+    if total == 0:
+        return empty, 0, 0
+    offsets = np.repeat(starts, counts) + segment_ranges(counts)
+    hit = mask[indices[offsets]] != 0
+
+    # Segmented first-hit position (within each vertex's neighbour list):
+    # positions with no hit get the segment length (i.e. "scanned all").
+    within = segment_ranges(counts)
+    pos_or_len = np.where(hit, within, np.repeat(counts, counts))
+    nonempty = counts > 0
+    seg_starts = np.zeros(unvisited.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=seg_starts[1:])
+    first_hit = np.minimum.reduceat(pos_or_len, seg_starts[nonempty])
+
+    found_nonempty = first_hit < counts[nonempty]
+    found = unvisited[nonempty][found_nonempty]
+    pi[found] = label
+
+    # Early-exit model: scanned first_hit + 1 slots on a hit, the whole
+    # list otherwise.
+    modeled = int(
+        np.where(found_nonempty, first_hit + 1, counts[nonempty]).sum()
+    )
+    return found.astype(VERTEX_DTYPE), modeled, total
+
+
+def _task_propagate(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    v_lo: int,
+    v_hi: int,
+    stats=None,
+) -> int:
+    """One synchronous min-label sweep over the block's CSR edge slots.
+
+    Scatter-min of each edge's source label into its destination; returns
+    the number of edges whose candidate beat the destination label at read
+    time.  Cross-block writes race exactly like the hook tasks: a lost
+    min-write implies the loser reported a change, so a global pass
+    reporting zero changes everywhere performed no writes and certifies
+    the fixpoint.
+    """
+    t0 = time.perf_counter()
+    if v_hi <= v_lo:
+        _record_stats(stats, t0)
+        return 0
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    e_lo = int(indptr[v_lo])
+    e_hi = int(indptr[v_hi])
+    if e_hi <= e_lo:
+        _record_stats(stats, t0)
+        return 0
+    deg = np.diff(indptr[v_lo : v_hi + 1])
+    src = np.repeat(np.arange(v_lo, v_hi, dtype=VERTEX_DTYPE), deg)
+    dst = indices[e_lo:e_hi]
+    cand = pi[src]
+    won = cand < pi[dst]
+    if not won.any():
+        _record_stats(stats, t0, items=e_hi - e_lo)
+        return 0
+    np.minimum.at(pi, dst[won], cand[won])
+    changed = int(won.sum())
+    _record_stats(stats, t0, items=e_hi - e_lo, aux=changed)
+    return changed
+
+
+def _task_frontier_expand(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    frontier_spec: SegSpec,
+    lo: int,
+    hi: int,
+    stats=None,
+) -> np.ndarray:
+    """Push labels from one slice of the shared frontier buffer.
+
+    Scatter-min of each frontier vertex's label onto its neighbours;
+    returns the (sorted, unique) vertices whose label this slice lowered —
+    the slice's share of the next frontier.
+    """
+    t0 = time.perf_counter()
+    empty = np.empty(0, dtype=VERTEX_DTYPE)
+    if hi <= lo:
+        _record_stats(stats, t0)
+        return empty
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    frontier = _attach_view(frontier_spec)[lo:hi]
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        _record_stats(stats, t0)
+        return empty
+    offsets = np.repeat(starts, counts) + segment_ranges(counts)
+    dst = indices[offsets]
+    cand = np.repeat(pi[frontier], counts)
+    won = cand < pi[dst]
+    if not won.any():
+        _record_stats(stats, t0, items=total)
+        return empty
+    np.minimum.at(pi, dst[won], cand[won])
+    changed = np.unique(dst[won]).astype(VERTEX_DTYPE)
+    _record_stats(stats, t0, items=total, aux=int(changed.shape[0]))
+    return changed
+
+
+def _task_bottom_up(
+    pi_spec: SegSpec,
+    indptr_spec: SegSpec,
+    indices_spec: SegSpec,
+    mask_spec: SegSpec,
+    v_lo: int,
+    v_hi: int,
+    label: int,
+    sentinel: int,
+    stats=None,
+) -> tuple[np.ndarray, int, int]:
+    """Bottom-up BFS step over one block (see :func:`bottom_up_block`)."""
+    t0 = time.perf_counter()
+    if v_hi <= v_lo:
+        _record_stats(stats, t0)
+        return np.empty(0, dtype=VERTEX_DTYPE), 0, 0
+    pi = _attach_view(pi_spec)
+    indptr = _attach_view(indptr_spec)
+    indices = _attach_view(indices_spec)
+    mask = _attach_view(mask_spec)
+    found, modeled, gathered = bottom_up_block(
+        pi, indptr, indices, mask, v_lo, v_hi, label, sentinel
+    )
+    _record_stats(stats, t0, items=gathered, aux=int(found.shape[0]))
+    return found, modeled, gathered
 
 
 def _task_check_fix(

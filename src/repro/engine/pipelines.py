@@ -8,7 +8,9 @@ gives the wall-clock batch implementation; running it under
 instrumented one — same control flow, same counters, same phase labels
 (Fig. 7's legend: ``I`` init, ``L<r>`` link rounds, ``C<r>`` compress,
 ``F`` find-largest, ``H`` final link/"hook", ``C*`` final compress for
-Afforest; ``I`` then ``H<i>``/``S<i>`` per iteration for SV).
+Afforest; ``I`` then ``H<i>``/``S<i>`` per iteration for SV; ``P<i>``
+propagate rounds (``P*`` the settle sweep) for label propagation;
+``T<i>``/``B<i>`` top-down/bottom-up frontier levels for BFS/DOBFS).
 """
 
 from __future__ import annotations
@@ -29,7 +31,21 @@ from repro.graph.csr import CSRGraph
 from repro.obs import phase_label
 from repro.unionfind.parent import ParentArray
 
-__all__ = ["afforest_pipeline", "sv_pipeline", "sv_pipeline_edges"]
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "afforest_pipeline",
+    "bfs_pipeline",
+    "dobfs_pipeline",
+    "lp_datadriven_pipeline",
+    "lp_pipeline",
+    "sv_pipeline",
+    "sv_pipeline_edges",
+]
+
+#: GAP's direction-switch parameters (DOBFS).
+DEFAULT_ALPHA = 15.0
+DEFAULT_BETA = 18.0
 
 
 def _check_rounds(neighbor_rounds: int) -> None:
@@ -242,3 +258,272 @@ def sv_pipeline(
     return sv_pipeline_edges(
         backend, n, src, dst, track_depth=track_depth, shortcut=shortcut
     )
+
+
+# --------------------------------------------------------------------- #
+# Label propagation (paper Sec. II-B)
+# --------------------------------------------------------------------- #
+
+
+def lp_pipeline(graph: CSRGraph, backend: ExecutionBackend) -> CCResult:
+    """Synchronous min-label propagation, any backend.
+
+    Each round (phase ``P<i>``) is one full-edge min-label sweep
+    (:meth:`~repro.engine.backends.ExecutionBackend.propagate_pass`);
+    convergence when a sweep reports no change — sound on every substrate
+    because a pass reporting zero changes performed no writes.  Work is
+    ``O(D · |E|)``, the diameter dependence the paper contrasts against.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
+        result.run_stats = backend.run_stats()
+        return result
+    pi = backend.init_labels(n, phase="I")
+    result = CCResult(labels=pi)
+    m = graph.num_directed_edges
+    if m == 0:
+        result.labels = pi
+        result.run_stats = backend.run_stats()
+        return result
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > cap:
+            raise ConvergenceError(
+                f"label propagation exceeded {cap} iterations"
+            )
+        changed = backend.propagate_pass(
+            pi, graph, phase=phase_label("P", round=iterations)
+        )
+        result.edges_processed += m
+        if not changed:
+            break
+    result.iterations = iterations
+    result.labels = pi
+    result.run_stats = backend.run_stats()
+    return result
+
+
+def lp_datadriven_pipeline(
+    graph: CSRGraph, backend: ExecutionBackend
+) -> CCResult:
+    """Data-driven (frontier) min-label propagation, any backend.
+
+    Each round (phase ``P<i>``) pushes labels from the frontier of
+    vertices whose label changed last round
+    (:meth:`~repro.engine.backends.ExecutionBackend.frontier_expand`),
+    so total work shrinks from ``O(D·|E|)`` toward the sum of active-edge
+    counts.  Once the frontier drains, a settle phase (``P*``) lets the
+    substrate certify/repair the fixpoint — zero passes everywhere except
+    the process backend, whose non-atomic cross-block min-writes can lose
+    an update.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
+        result.run_stats = backend.run_stats()
+        return result
+    pi = backend.init_labels(n, phase="I")
+    result = CCResult(labels=pi)
+    if graph.num_directed_edges == 0:
+        result.labels = pi
+        result.run_stats = backend.run_stats()
+        return result
+    indptr = graph.indptr
+    frontier = np.arange(n, dtype=VERTEX_DTYPE)
+    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
+    iterations = 0
+    while frontier.size:
+        iterations += 1
+        if iterations > cap:
+            raise ConvergenceError(
+                f"data-driven label propagation exceeded {cap} iterations"
+            )
+        total = int((indptr[frontier + 1] - indptr[frontier]).sum())
+        if total == 0:
+            break
+        phase = phase_label(
+            "P", round=iterations, frontier=int(frontier.shape[0])
+        )
+        backend.record_frontier(int(frontier.shape[0]), phase=phase)
+        result.edges_processed += total
+        frontier = backend.frontier_expand(pi, graph, frontier, phase=phase)
+    backend.propagate_settle(pi, graph, phase=phase_label("P", final=True))
+    result.iterations = iterations
+    result.labels = pi
+    result.run_stats = backend.run_stats()
+    return result
+
+
+# --------------------------------------------------------------------- #
+# BFS connected components (paper Sec. II-B; DOBFS after Beamer et al.)
+# --------------------------------------------------------------------- #
+
+
+def bfs_pipeline(graph: CSRGraph, backend: ExecutionBackend) -> CCResult:
+    """Connected components via repeated frontier-parallel BFS, any backend.
+
+    Components are found one at a time: an ascending cursor scan picks
+    the smallest unvisited vertex as seed (so labels are component
+    minima, bit-identical to the hooking algorithms), then phase ``T<i>``
+    frontier expansions label everything reached.  Unvisited vertices
+    carry the sentinel ``n`` — compatible with the backends' min-label
+    push, since every real label is smaller.  Each edge is touched once
+    (linear work), but components are processed serially — the weakness
+    Fig. 8c exposes.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
+        result.run_stats = backend.run_stats()
+        return result
+    sentinel = n
+    pi = backend.init_labels(n, phase="I", fill=sentinel)
+    result = CCResult(labels=pi)
+    indptr = graph.indptr
+    edges = 0
+    steps = 0
+    step_edges: list[int] = []
+    # Seeds are scanned in id order; the cursor never revisits labelled
+    # prefix entries, so the scan is O(n) total.
+    cursor = 0
+    while cursor < n:
+        if int(pi[cursor]) != sentinel:
+            cursor += 1
+            continue
+        label = cursor
+        pi[cursor] = label
+        frontier = np.asarray([cursor], dtype=VERTEX_DTYPE)
+        while frontier.size:
+            steps += 1
+            total = int((indptr[frontier + 1] - indptr[frontier]).sum())
+            if total == 0:
+                break
+            edges += total
+            step_edges.append(total)
+            phase = phase_label(
+                "T", round=steps, frontier=int(frontier.shape[0])
+            )
+            backend.record_frontier(int(frontier.shape[0]), phase=phase)
+            frontier = backend.frontier_expand(
+                pi, graph, frontier, phase=phase
+            )
+        cursor += 1
+    # step_edges: edges examined per frontier expansion, in execution
+    # order — the per-parallel-phase work profile used by the scaling
+    # model (Fig. 8b).
+    result.edges_processed = edges
+    result.bfs_steps = steps
+    result.step_edges = step_edges
+    result.labels = pi
+    result.run_stats = backend.run_stats()
+    return result
+
+
+def dobfs_pipeline(
+    graph: CSRGraph,
+    backend: ExecutionBackend,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    beta: float = DEFAULT_BETA,
+) -> CCResult:
+    """Connected components via direction-optimizing BFS, any backend.
+
+    Like :func:`bfs_pipeline` but each step chooses between a top-down
+    frontier expansion (phase ``T<i>``) and a bottom-up pull over the
+    unvisited vertices (phase ``B<i>``), following GAP's heuristic: go
+    bottom-up when the frontier's out-degree exceeds
+    ``remaining_edges / alpha``; return to top-down once the frontier
+    both shrinks and drops below ``n / beta`` (do-while hysteresis).
+
+    ``edges_processed`` is the early-exit work model (a bottom-up scan
+    stops at its first frontier hit — what real hardware touches);
+    ``edges_gathered`` whatever the substrate actually examined.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
+        result.run_stats = backend.run_stats()
+        return result
+    sentinel = n
+    pi = backend.init_labels(n, phase="I", fill=sentinel)
+    result = CCResult(labels=pi)
+    deg = np.asarray(graph.degree())
+
+    edges_modeled = 0
+    edges_gathered = 0
+    td_steps = 0
+    bu_steps = 0
+    step_edges: list[int] = []
+
+    # GAP's heuristic state: edges_to_check counts unexplored out-degree
+    # and only ever decreases; scout is the current frontier's out-degree.
+    edges_to_check = graph.num_directed_edges
+    cursor = 0
+    while cursor < n:
+        if int(pi[cursor]) != sentinel:
+            cursor += 1
+            continue
+        label = cursor
+        pi[cursor] = label
+        frontier = np.asarray([cursor], dtype=VERTEX_DTYPE)
+        while frontier.size:
+            scout = int(deg[frontier].sum())
+            if scout > edges_to_check / alpha:
+                # Bottom-up regime: sweep until the frontier both shrinks
+                # and drops below n / beta (GAP's do-while hysteresis).
+                awake = frontier.shape[0]
+                while True:
+                    in_frontier = np.zeros(n, dtype=bool)
+                    in_frontier[frontier] = True
+                    bu_steps += 1
+                    phase = phase_label(
+                        "B", round=bu_steps, frontier=int(awake)
+                    )
+                    backend.record_frontier(int(awake), phase=phase)
+                    frontier, modeled, gathered = backend.bottom_up_pass(
+                        pi, graph, in_frontier, label, sentinel, phase=phase
+                    )
+                    edges_modeled += modeled
+                    edges_gathered += gathered
+                    step_edges.append(modeled)
+                    prev_awake, awake = awake, frontier.shape[0]
+                    if awake == 0 or (
+                        awake < prev_awake and awake <= n / beta
+                    ):
+                        break
+                edges_to_check = max(
+                    edges_to_check - int(deg[frontier].sum()), 0
+                )
+            else:
+                edges_to_check = max(edges_to_check - scout, 0)
+                td_steps += 1
+                step_edges.append(scout)
+                edges_modeled += scout
+                edges_gathered += scout
+                if scout == 0:
+                    frontier = np.empty(0, dtype=VERTEX_DTYPE)
+                else:
+                    phase = phase_label(
+                        "T", round=td_steps, frontier=int(frontier.shape[0])
+                    )
+                    backend.record_frontier(
+                        int(frontier.shape[0]), phase=phase
+                    )
+                    frontier = backend.frontier_expand(
+                        pi, graph, frontier, phase=phase
+                    )
+        cursor += 1
+    # step_edges: modeled edges examined per step, in execution order
+    # (Fig. 8b input).
+    result.edges_processed = edges_modeled
+    result.edges_gathered = edges_gathered
+    result.top_down_steps = td_steps
+    result.bottom_up_steps = bu_steps
+    result.bfs_steps = td_steps + bu_steps
+    result.step_edges = step_edges
+    result.labels = pi
+    result.run_stats = backend.run_stats()
+    return result

@@ -26,6 +26,7 @@ __all__ = [
     "available_algorithms",
     "describe_algorithms",
     "supported_backends",
+    "support_matrix_markdown",
 ]
 
 #: registry name -> spec.  Populated by :func:`register`.
@@ -128,3 +129,35 @@ def describe_algorithms() -> list[tuple[str, str]]:
 def supported_backends(name: str) -> tuple[str, ...]:
     """Backend kinds algorithm ``name`` supports (registry metadata)."""
     return get_algorithm(name).backends
+
+
+def support_matrix_markdown() -> str:
+    """The algorithm×backend support matrix as a markdown table.
+
+    Derived entirely from registry metadata, so the rendering in
+    ``docs/algorithms.md`` cannot drift from the code (a test regenerates
+    and compares).  Algorithms registered with backends outside the
+    canonical :data:`~repro.engine.backends.BACKEND_KINDS` get extra
+    columns appended in registration order.
+    """
+    _ensure_builtins()
+    # Local import: backends.py is heavy (numpy, multiprocessing) and the
+    # registry must stay importable without it at module scope.
+    from repro.engine.backends import BACKEND_KINDS
+
+    kinds = list(BACKEND_KINDS)
+    for name in sorted(_REGISTRY):
+        for kind in _REGISTRY[name].backends:
+            if kind not in kinds:
+                kinds.append(kind)
+    lines = [
+        "| algorithm | " + " | ".join(kinds) + " |",
+        "|---|" + "|".join("---" for _ in kinds) + "|",
+    ]
+    for name in sorted(_REGISTRY):
+        spec = _REGISTRY[name]
+        cells = " | ".join(
+            "✓" if spec.supports_backend(k) else "—" for k in kinds
+        )
+        lines.append(f"| `{name}` | {cells} |")
+    return "\n".join(lines)

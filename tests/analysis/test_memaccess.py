@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
+from repro import engine
 from repro.analysis.memaccess import reduce_trace
-from repro.core import afforest_simulated
-from repro.baselines import sv_simulated
+from repro.engine import SimulatedBackend
 from repro.errors import ConfigurationError
 from repro.generators import uniform_random_graph
 from repro.parallel import MemoryTrace, SimulatedMachine
@@ -94,8 +94,13 @@ class TestPaperShape:
         g = uniform_random_graph(512, edge_factor=8, seed=0)
         out = {}
         for name, runner in (
-            ("afforest", lambda m: afforest_simulated(g, m)),
-            ("sv", lambda m: sv_simulated(g, m)),
+            (
+                "afforest",
+                lambda m: engine.run(
+                    "afforest", g, backend=SimulatedBackend(m)
+                ),
+            ),
+            ("sv", lambda m: engine.run("sv", g, backend=SimulatedBackend(m))),
         ):
             trace = MemoryTrace()
             m = SimulatedMachine(4, trace=trace)

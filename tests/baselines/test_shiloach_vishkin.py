@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 
+from repro import engine
 from repro.analysis.verify import equivalent_labelings, is_valid_labeling
-from repro.baselines import (
-    shiloach_vishkin,
-    shiloach_vishkin_edgelist,
-    sv_simulated,
-)
+from repro.baselines import shiloach_vishkin, shiloach_vishkin_edgelist
+from repro.engine import SimulatedBackend
 from repro.generators import kronecker_graph, uniform_random_graph
 from repro.parallel import SimulatedMachine
 from repro.unionfind import sequential_components
@@ -69,11 +67,16 @@ class TestEdgeListSV:
         assert r.num_components == 0
 
 
+def _sv_simulated(graph, machine):
+    """Shiloach–Vishkin on the simulated machine via the engine registry."""
+    return engine.run("sv", graph, backend=SimulatedBackend(machine))
+
+
 class TestSimulatedSV:
     @pytest.mark.parametrize("workers", [1, 3])
     def test_matches_reference(self, workers, mixed_graph):
         m = SimulatedMachine(workers, schedule="cyclic")
-        r = sv_simulated(mixed_graph, m)
+        r = _sv_simulated(mixed_graph, m)
         assert equivalent_labelings(
             r.labels, sequential_components(mixed_graph)
         )
@@ -84,12 +87,12 @@ class TestSimulatedSV:
             m = SimulatedMachine(
                 4, schedule="cyclic", interleave="random", seed=seed
             )
-            r = sv_simulated(g, m)
+            r = _sv_simulated(g, m)
             assert equivalent_labelings(r.labels, sequential_components(g))
 
     def test_phase_structure(self, two_cliques):
         m = SimulatedMachine(2)
-        r = sv_simulated(two_cliques, m)
+        r = _sv_simulated(two_cliques, m)
         labels = [p.label for p in m.stats.phases]
         assert labels[0] == "I"
         assert labels[1] == "H1"
@@ -98,13 +101,11 @@ class TestSimulatedSV:
 
     def test_more_work_than_afforest(self):
         """The headline work-efficiency claim at simulator level."""
-        from repro.core import afforest_simulated
-
         g = uniform_random_graph(400, edge_factor=8, seed=3)
         m_sv = SimulatedMachine(4)
-        sv_simulated(g, m_sv)
+        _sv_simulated(g, m_sv)
         m_af = SimulatedMachine(4)
-        afforest_simulated(g, m_af)
+        engine.run("afforest", g, backend=SimulatedBackend(m_af))
         assert m_sv.stats.total_work > m_af.stats.total_work
 
 

@@ -36,7 +36,7 @@ class TestWorkerScaling:
 
     def test_unsupported_algorithm_raises(self, small_graph):
         with pytest.raises(ConfigurationError, match="process backend"):
-            worker_scaling_curve(small_graph, "lp", (1,), repeats=2)
+            worker_scaling_curve(small_graph, "sequential", (1,), repeats=2)
 
     def test_curve_is_json_serializable(self, small_graph):
         curve = worker_scaling_curve(small_graph, "sv", (1,), repeats=2)
@@ -68,8 +68,8 @@ class TestSmoke:
             for r in report["records"]
             if "backend" in r
         }
-        # Full matrix: 2 graphs x 2 algorithms x 2 backends.
-        assert len(combos) == 8
+        # Full matrix: 2 graphs x 4 algorithms x 2 backends.
+        assert len(combos) == 16
         assert all(r.get("matches_oracle", True) for r in report["records"])
 
     def test_smoke_cli_writes_json(self, tmp_path, capsys):

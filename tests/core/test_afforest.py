@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro import engine
 from repro.analysis.verify import equivalent_labelings, is_valid_labeling
-from repro.core import afforest, afforest_simulated
+from repro.core import afforest
+from repro.engine import SimulatedBackend
 from repro.errors import ConfigurationError
 from repro.generators import (
     component_fraction_graph,
@@ -93,11 +95,18 @@ class TestWorkCounters:
         assert r.largest_label == 0
 
 
+def _afforest_simulated(graph, machine, **kwargs):
+    """Afforest on the simulated machine, via the engine registry."""
+    return engine.run(
+        "afforest", graph, backend=SimulatedBackend(machine), **kwargs
+    )
+
+
 class TestSimulated:
     @pytest.mark.parametrize("workers", [1, 2, 5])
     def test_matches_vectorized(self, workers, mixed_graph):
         m = SimulatedMachine(workers, schedule="cyclic")
-        r = afforest_simulated(mixed_graph, m)
+        r = _afforest_simulated(mixed_graph, m)
         assert equivalent_labelings(
             r.labels, sequential_components(mixed_graph)
         )
@@ -108,32 +117,32 @@ class TestSimulated:
             m = SimulatedMachine(
                 4, schedule="cyclic", interleave="random", seed=seed
             )
-            r = afforest_simulated(g, m, seed=seed)
+            r = _afforest_simulated(g, m, seed=seed)
             assert equivalent_labelings(r.labels, sequential_components(g))
 
     def test_phase_structure(self, two_cliques):
         m = SimulatedMachine(2)
-        afforest_simulated(two_cliques, m, neighbor_rounds=2)
+        _afforest_simulated(two_cliques, m, neighbor_rounds=2)
         labels = [p.label for p in m.stats.phases]
         assert labels == ["I", "L0", "C0", "L1", "C1", "F", "H", "C*"]
 
     def test_noskip_has_no_find_phase(self, two_cliques):
         m = SimulatedMachine(2)
-        afforest_simulated(two_cliques, m, skip_largest=False)
+        _afforest_simulated(two_cliques, m, skip_largest=False)
         labels = [p.label for p in m.stats.phases]
         assert "F" not in labels
 
     def test_trace_capture(self, two_cliques):
         trace = MemoryTrace()
         m = SimulatedMachine(2, trace=trace)
-        afforest_simulated(two_cliques, m)
+        _afforest_simulated(two_cliques, m)
         ta = trace.finalize()
         assert ta.num_events == m.stats.total_work
 
     def test_skip_counters(self):
         g = uniform_random_graph(300, edge_factor=8, seed=5)
         m = SimulatedMachine(4)
-        r = afforest_simulated(g, m)
+        r = _afforest_simulated(g, m)
         assert r.edges_skipped > 0
         # Same accounting identity as the vectorized driver.
         assert (
@@ -143,7 +152,7 @@ class TestSimulated:
 
     def test_empty_graph(self, empty_graph):
         m = SimulatedMachine(2)
-        r = afforest_simulated(empty_graph, m)
+        r = _afforest_simulated(empty_graph, m)
         assert r.labels.shape == (0,)
 
 
@@ -207,13 +216,11 @@ class TestDynamicScheduleIntegration:
     def test_afforest_simulated_on_dynamic_schedule(self):
         g = uniform_random_graph(200, edge_factor=4, seed=6)
         m = SimulatedMachine(4, schedule="dynamic", chunk_size=8)
-        r = afforest_simulated(g, m)
+        r = _afforest_simulated(g, m)
         assert equivalent_labelings(r.labels, sequential_components(g))
 
     def test_sv_simulated_on_dynamic_schedule(self):
-        from repro.baselines import sv_simulated
-
         g = uniform_random_graph(150, edge_factor=4, seed=7)
         m = SimulatedMachine(3, schedule="dynamic", chunk_size=4)
-        r = sv_simulated(g, m)
+        r = engine.run("sv", g, backend=SimulatedBackend(m))
         assert equivalent_labelings(r.labels, sequential_components(g))

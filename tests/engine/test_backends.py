@@ -5,8 +5,7 @@ import pytest
 
 from repro import engine
 from repro.analysis import equivalent_labelings
-from repro.baselines.shiloach_vishkin import sv_simulated
-from repro.core import afforest, afforest_simulated
+from repro.core import afforest
 from repro.engine import SimulatedBackend, VectorizedBackend
 from repro.errors import ConfigurationError
 from repro.parallel.machine import SimulatedMachine
@@ -66,12 +65,12 @@ class TestBackendValidation:
     def test_vectorized_only_algorithm_rejects_simulated(self, mixed_graph):
         backend = SimulatedBackend(SimulatedMachine(2))
         with pytest.raises(ConfigurationError, match="does not support"):
-            engine.run("lp", mixed_graph, backend=backend)
+            engine.run("sequential", mixed_graph, backend=backend)
 
     def test_error_names_supported_backends(self, mixed_graph):
         backend = SimulatedBackend(SimulatedMachine(2))
         with pytest.raises(ConfigurationError, match="vectorized"):
-            engine.run("bfs", mixed_graph, backend=backend)
+            engine.run("distributed", mixed_graph, backend=backend)
 
 
 class TestProvenance:
@@ -121,7 +120,7 @@ class TestProfiling:
         assert total >= max(phases.values())
 
     def test_uninstrumented_algorithm_gets_total_phase(self, mixed_graph):
-        result = engine.run("lp", mixed_graph, profile=True)
+        result = engine.run("sequential", mixed_graph, profile=True)
         assert set(result.phase_seconds) == {"total"}
 
     def test_no_profile_no_phases(self, mixed_graph):
@@ -136,36 +135,47 @@ class TestProfiling:
         assert second.phase_seconds == {}
 
 
-class TestShimBackCompat:
-    """The deprecated ``*_simulated`` twins still behave as before."""
+class TestSimulatedPhaseStructure:
+    """Engine runs on the simulated machine keep the Fig. 7 phase bands."""
 
-    def test_afforest_simulated_shim(self, mixed_graph):
+    def test_afforest_simulated_phases(self, mixed_graph):
         machine = SimulatedMachine(3, seed=11)
-        result = afforest_simulated(mixed_graph, machine, neighbor_rounds=2)
+        result = engine.run(
+            "afforest",
+            mixed_graph,
+            backend=SimulatedBackend(machine),
+            neighbor_rounds=2,
+        )
         ref = sequential_components(mixed_graph)
         assert equivalent_labelings(result.labels, ref)
         phases = [p.label for p in machine.stats.phases]
         assert phases == ["I", "L0", "C0", "L1", "C1", "F", "H", "C*"]
         assert result.run_stats is machine.stats
 
-    def test_sv_simulated_shim(self, mixed_graph):
+    def test_sv_simulated_phases(self, mixed_graph):
         machine = SimulatedMachine(2, seed=4)
-        result = sv_simulated(mixed_graph, machine)
+        result = engine.run(
+            "sv", mixed_graph, backend=SimulatedBackend(machine)
+        )
         ref = sequential_components(mixed_graph)
         assert equivalent_labelings(result.labels, ref)
         phases = [p.label for p in machine.stats.phases]
         assert phases[0] == "I"
         assert len(phases) == 1 + 2 * result.iterations
 
-    def test_shims_agree_with_engine(self, two_cliques):
-        direct = engine.run(
+    def test_simulated_runs_deterministic_per_seed(self, two_cliques):
+        a = engine.run(
             "afforest",
             two_cliques,
             backend=SimulatedBackend(SimulatedMachine(2, seed=9)),
         )
-        shim = afforest_simulated(two_cliques, SimulatedMachine(2, seed=9))
-        assert np.array_equal(direct.labels, shim.labels)
-        assert direct.edges_sampled == shim.edges_sampled
+        b = engine.run(
+            "afforest",
+            two_cliques,
+            backend=SimulatedBackend(SimulatedMachine(2, seed=9)),
+        )
+        assert np.array_equal(a.labels, b.labels)
+        assert a.edges_sampled == b.edges_sampled
 
     def test_vectorized_entry_point_still_returns_counters(self, mixed_graph):
         result = afforest(mixed_graph, profile=True)

@@ -122,7 +122,7 @@ class TestProcessBackendConfiguration:
     def test_unsupported_algorithm_rejected(self, mixed_graph):
         with ProcessParallelBackend(workers=1) as backend:
             with pytest.raises(ConfigurationError, match="does not support"):
-                engine.run("lp", mixed_graph, backend=backend)
+                engine.run("sequential", mixed_graph, backend=backend)
 
     def test_result_stamped_with_backend_kind(self, mixed_graph):
         with ProcessParallelBackend(workers=2) as backend:

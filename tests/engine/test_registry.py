@@ -46,8 +46,13 @@ class TestMetadata:
         spec = engine.get_algorithm("afforest-noskip")
         assert spec.defaults == {"skip_largest": False}
 
-    def test_baselines_are_vectorized_only(self):
+    def test_frontier_family_supports_every_backend(self):
         for name in ("lp", "lp-datadriven", "bfs", "dobfs"):
+            spec = engine.get_algorithm(name)
+            assert spec.backends == ("vectorized", "simulated", "process")
+
+    def test_reference_algorithms_are_vectorized_only(self):
+        for name in ("sequential", "distributed"):
             spec = engine.get_algorithm(name)
             assert spec.backends == ("vectorized",)
             assert not spec.supports_backend("simulated")
@@ -55,7 +60,8 @@ class TestMetadata:
     def test_pipelines_marked_instrumented(self):
         assert engine.get_algorithm("afforest").instrumented
         assert engine.get_algorithm("sv").instrumented
-        assert not engine.get_algorithm("lp").instrumented
+        assert engine.get_algorithm("lp").instrumented
+        assert not engine.get_algorithm("sequential").instrumented
 
 
 class TestLookup:

@@ -42,10 +42,13 @@ def test_io_roundtrip_then_solve(tmp_path, dataset):
 
 def test_simulated_machine_full_stack():
     """Generator -> simulated Afforest -> trace reduction -> cost model."""
+    from repro import engine
+    from repro.engine import SimulatedBackend
+
     g = load_dataset("kron", "tiny")
     trace = MemoryTrace()
     machine = SimulatedMachine(8, trace=trace)
-    result = repro.afforest_simulated(g, machine)
+    result = engine.run("afforest", g, backend=SimulatedBackend(machine))
     assert is_valid_labeling(g, result.labels)
 
     summary = reduce_trace(trace.finalize(), g.num_vertices)
@@ -54,7 +57,7 @@ def test_simulated_machine_full_stack():
     model = WorkSpanModel(tau=1.0, beta=50.0)
     t8 = model.time(machine.stats)
     serial = SimulatedMachine(1)
-    repro.afforest_simulated(g, serial)
+    engine.run("afforest", g, backend=SimulatedBackend(serial))
     t1 = model.time(serial.stats)
     assert t8 < t1  # parallelism helps
 

@@ -62,11 +62,19 @@ def test_afforest_parameter_space(g, rounds, skip, seed):
 def test_simulated_afforest_matches(g, workers, seed):
     if g.num_vertices == 0:
         return
+    from repro import engine
+    from repro.engine import SimulatedBackend
     from repro.parallel import SimulatedMachine
 
     ref = repro.sequential_components(g)
     m = SimulatedMachine(
         workers, schedule="cyclic", interleave="random", seed=seed
     )
-    r = repro.afforest_simulated(g, m, seed=seed, sample_size=16)
+    r = engine.run(
+        "afforest",
+        g,
+        backend=SimulatedBackend(m),
+        seed=seed,
+        sample_size=16,
+    )
     assert equivalent_labelings(r.labels, ref)

@@ -70,17 +70,26 @@ def test_afforest_configurations_bit_identical(g, rounds, seed):
 @given(graphs(max_n=18, max_edges=35), st.integers(1, 5), st.integers(0, 99))
 @settings(max_examples=30, deadline=None)
 def test_simulated_drivers_bit_identical(g, workers, seed):
-    from repro.baselines import sv_simulated
-    from repro.core import afforest_simulated
+    from repro import engine
+    from repro.engine import SimulatedBackend
     from repro.parallel import SimulatedMachine
 
     expected = min_vertex_labels(g)
     m1 = SimulatedMachine(workers, schedule="cyclic", interleave="random", seed=seed)
     assert np.array_equal(
-        afforest_simulated(g, m1, seed=seed, sample_size=8).labels, expected
+        engine.run(
+            "afforest",
+            g,
+            backend=SimulatedBackend(m1),
+            seed=seed,
+            sample_size=8,
+        ).labels,
+        expected,
     )
     m2 = SimulatedMachine(workers, schedule="cyclic", interleave="random", seed=seed)
-    assert np.array_equal(sv_simulated(g, m2).labels, expected)
+    assert np.array_equal(
+        engine.run("sv", g, backend=SimulatedBackend(m2)).labels, expected
+    )
 
 
 def test_lp_also_converges_to_minima(mixed_graph):

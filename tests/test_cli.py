@@ -85,9 +85,19 @@ class TestSolve:
 
     def test_backend_unsupported_by_algorithm(self, graph_file, capsys):
         assert main(
-            ["solve", graph_file, "--algorithm", "lp", "--backend", "process"]
+            ["solve", graph_file, "--algorithm", "sequential",
+             "--backend", "process"]
         ) == 1
-        assert "does not support" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "does not support" in err
+        assert "vectorized" in err  # message names the supported backends
+
+    def test_frontier_algorithm_on_process_backend(self, graph_file, capsys):
+        assert main(
+            ["solve", graph_file, "--algorithm", "lp",
+             "--backend", "process", "--workers", "2"]
+        ) == 0
+        assert "lp [process]: 2 components" in capsys.readouterr().out
 
 
 class TestCompare:
@@ -104,20 +114,23 @@ class TestCompare:
         assert main(
             [
                 "compare", graph_file,
-                "--algorithms", "afforest,lp",
+                "--algorithms", "afforest,sequential",
                 "--backend", "process", "--workers", "2",
                 "--repeats", "2",
             ]
         ) == 0
         out = capsys.readouterr().out
-        assert "note: lp does not support the process backend; skipped" in out
+        assert (
+            "note: sequential does not support the process backend; skipped"
+            in out
+        )
         assert "afforest" in out
 
     def test_all_unsupported_is_an_error(self, graph_file, capsys):
         assert main(
             [
                 "compare", graph_file,
-                "--algorithms", "lp,bfs",
+                "--algorithms", "sequential,distributed",
                 "--backend", "process",
             ]
         ) == 1
