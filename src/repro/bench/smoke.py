@@ -38,8 +38,10 @@ SMOKE_GRAPHS: tuple[tuple[str, object], ...] = (
 
 #: Hooking algorithms plus one frontier pipeline of each flavour
 #: (label push, BFS level sweep) so the process backend's frontier task
-#: bodies are exercised end-to-end by CI.
-SMOKE_ALGORITHMS = ("afforest", "sv", "lp-datadriven", "bfs")
+#: bodies are exercised end-to-end by CI, plus the plan layer: one
+#: composed plan with no legacy alias and the ``auto`` meta-algorithm
+#: (whose selected plan lands in the record's ``plan`` field).
+SMOKE_ALGORITHMS = ("afforest", "sv", "lp-datadriven", "bfs", "kout+sv", "auto")
 SMOKE_BACKENDS = ("vectorized", "process")
 
 
@@ -84,19 +86,20 @@ def run_smoke(
                     backend.close()
                 ok = bool(np.array_equal(_canonical(labels), oracle_canon))
                 failures += not ok
-                records.append(
-                    {
-                        "dataset": dataset,
-                        "algorithm": algorithm,
-                        "backend": kind,
-                        "median_seconds": rec.median_seconds,
-                        "num_components": rec.extra["num_components"],
-                        "matches_oracle": ok,
-                    }
-                )
+                record = {
+                    "dataset": dataset,
+                    "algorithm": algorithm,
+                    "backend": kind,
+                    "median_seconds": rec.median_seconds,
+                    "num_components": rec.extra["num_components"],
+                    "matches_oracle": ok,
+                }
+                if "plan" in rec.extra:
+                    record["plan"] = rec.extra["plan"]
+                records.append(record)
                 status = "ok" if ok else "ORACLE MISMATCH"
                 print(
-                    f"{dataset:>14} {algorithm:<10} {kind:<10} "
+                    f"{dataset:>14} {algorithm:<14} {kind:<10} "
                     f"{rec.median_seconds * 1000:8.2f} ms  {status}"
                 )
         if scaling:
@@ -116,6 +119,55 @@ def run_smoke(
         "records": records,
     }
     return report, failures
+
+
+def compare_against_baseline(report: dict, baseline: dict) -> tuple[list[str], list[str]]:
+    """Compare a fresh smoke ``report`` against the committed baseline.
+
+    Returns ``(failures, notes)``.  Failures are *semantic* regressions —
+    a (dataset, algorithm, backend) combination that vanished, a
+    component-count change, or ``auto`` selecting a different plan than
+    the one on record (probes are deterministic, so a drift means the
+    decision rule changed without the baseline being regenerated).
+    Timing movement is reported as notes only: CI machines are noisy, so
+    wall-clock never gates.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    current = {
+        (r["dataset"], r["algorithm"], r["backend"]): r
+        for r in report["records"]
+        if "median_seconds" in r
+    }
+    for rec in baseline.get("records", []):
+        if "median_seconds" not in rec:  # scaling-curve records have no key
+            continue
+        key = (rec["dataset"], rec["algorithm"], rec["backend"])
+        label = "/".join(key)
+        now = current.get(key)
+        if now is None:
+            failures.append(f"{label}: present in baseline, missing from this run")
+            continue
+        if now["num_components"] != rec["num_components"]:
+            failures.append(
+                f"{label}: num_components {rec['num_components']} -> "
+                f"{now['num_components']}"
+            )
+        if now.get("plan") != rec.get("plan"):
+            failures.append(
+                f"{label}: plan {rec.get('plan')!r} -> {now.get('plan')!r}"
+            )
+        if rec["median_seconds"] > 0:
+            ratio = now["median_seconds"] / rec["median_seconds"]
+            notes.append(f"{label}: {ratio:.2f}x baseline median")
+    new_keys = set(current) - {
+        (r["dataset"], r["algorithm"], r["backend"])
+        for r in baseline.get("records", [])
+        if "median_seconds" in r
+    }
+    for key in sorted(new_keys):
+        notes.append("/".join(key) + ": new combination (not in baseline)")
+    return failures, notes
 
 
 def export_smoke_trace(path: str, *, format: str = "chrome", workers: int = 2) -> None:
@@ -161,6 +213,12 @@ def main(argv: list[str] | None = None) -> int:
         description="oracle-checked CI smoke benchmark",
     )
     parser.add_argument("--output", help="write the JSON report to this path")
+    parser.add_argument(
+        "--baseline",
+        help="compare against this committed report (e.g. BENCH_smoke.json): "
+        "component counts and auto's plan choice gate, timings are "
+        "informational",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
         "--workers", type=int, default=2, help="process-backend worker count"
@@ -184,6 +242,15 @@ def main(argv: list[str] | None = None) -> int:
     report, failures = run_smoke(
         repeats=args.repeats, workers=args.workers, scaling=args.scaling
     )
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions, notes = compare_against_baseline(report, baseline)
+        for note in notes:
+            print(f"baseline: {note}")
+        for line in regressions:
+            print(f"error: baseline regression: {line}", file=sys.stderr)
+        failures += len(regressions)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
@@ -194,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     if failures:
         print(f"error: {failures} configuration(s) disagree with the "
-              "union-find oracle", file=sys.stderr)
+              "union-find oracle or the committed baseline", file=sys.stderr)
         return 1
     return 0
 

@@ -7,8 +7,13 @@ Commands
 ``info``      print Table III-style statistics for a graph
 ``solve``     compute connected components and optionally save the labels
 ``compare``   run several algorithms on one graph and print a timing table
+``plans``     list the sampling × finish plan space (``--check`` validates it)
 ``convert``   translate between the supported graph file formats
 ``trace``     render a saved execution trace as an ASCII timeline
+
+Algorithm arguments accept registered names (``afforest``, ``auto``, …)
+and composed plan names (``<sampling>+<finish>``, e.g. ``kout+sv``);
+``solve --plan`` makes the composition explicit.
 
 ``solve`` and ``compare`` accept ``--trace-out PATH`` (with
 ``--trace-format {jsonl,chrome}``) to export the telemetry trace of the
@@ -31,6 +36,7 @@ import numpy as np
 
 import repro
 from repro.engine import (
+    CANONICAL_PLANS,
     available_algorithms,
     backend_kinds,
     get_algorithm,
@@ -91,6 +97,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.plan:
+        if args.algorithm is not None:
+            raise ConfigurationError(
+                "pass either --algorithm or --plan, not both"
+            )
+        args.algorithm = args.plan
+    elif args.algorithm is None:
+        args.algorithm = "afforest"
     # Validate the name and the algorithm×backend combination against the
     # registry up front — a typo or unsupported substrate should fail
     # before the (possibly expensive) graph load, not deep in dispatch.
@@ -113,6 +127,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         backend.close()
     labels = result.labels
     tag = "" if args.backend == "vectorized" else f" [{args.backend}]"
+    # Plan provenance: shown only when the name does not already determine
+    # the composition — i.e. `auto`, whose choice is made at runtime.
+    implied = CANONICAL_PLANS.get(args.algorithm, args.algorithm)
+    if result.plan and result.plan != implied:
+        tag += f" (plan {result.plan})"
     print(
         f"{args.algorithm}{tag}: {result.num_components} components in "
         f"{elapsed * 1000:.1f} ms "
@@ -127,11 +146,103 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plans(args: argparse.Namespace) -> int:
+    from repro.engine import PlanRegistry, describe_plans
+
+    if args.check:
+        return _check_plans(args)
+    registry = PlanRegistry()
+    samplings = registry.samplings
+    finishes = registry.finishes
+    print("sampling phases:")
+    for name in sorted(samplings):
+        print(f"  {name:<10} {samplings[name].description}")
+    print("\nfinish phases:")
+    for name in sorted(finishes):
+        spec = finishes[name]
+        notes = []
+        if spec.supports_skip:
+            notes.append("skip-capable")
+        if spec.whole_graph:
+            notes.append("whole-graph: composes with 'none' only")
+        suffix = f"  [{', '.join(notes)}]" if notes else ""
+        print(f"  {name:<14} {spec.description}{suffix}")
+    plans = describe_plans()
+    print(f"\ncomposed plans ({len(plans)}):")
+    for name, _ in plans:
+        print(f"  {name}")
+    print("\nrun one with: repro solve <graph> --plan <sampling>+<finish>")
+    return 0
+
+
+def _check_plans(args: argparse.Namespace) -> int:
+    """Validate that every registered plan runs on every declared backend.
+
+    Runs each composition on a small multi-component graph per backend
+    kind and compares the labels against the scipy oracle's
+    component-minimum labeling; exits non-zero on any mismatch (the CI
+    gate behind ``repro plans --check``).
+    """
+    from repro.engine import available_plans
+    from repro.engine.plan import PLAN_BACKENDS
+    from repro.generators.components import component_fraction_graph
+    from repro.graph.properties import scipy_components
+
+    graph = component_fraction_graph(150, 0.3, seed=3)
+    comp = scipy_components(graph)
+    n = graph.num_vertices
+    mins = np.full(int(comp.max()) + 1, n, dtype=np.int64)
+    np.minimum.at(mins, comp, np.arange(n, dtype=np.int64))
+    expected = mins[comp]
+
+    failures = []
+    checked = 0
+    for kind in PLAN_BACKENDS:
+        backend = make_backend(kind, workers=args.workers)
+        try:
+            for plan_name in available_plans():
+                checked += 1
+                try:
+                    result = repro.engine.run(plan_name, graph, backend=backend)
+                    ok = np.array_equal(result.labels, expected)
+                except ReproError as exc:
+                    failures.append(f"{plan_name} [{kind}]: {exc}")
+                    continue
+                if not ok:
+                    failures.append(
+                        f"{plan_name} [{kind}]: labels diverge from oracle"
+                    )
+        finally:
+            backend.close()
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        print(
+            f"plans check: {len(failures)}/{checked} plan×backend "
+            "combinations failed",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"plans check: {checked} plan×backend combinations OK")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.bench.report import format_table
     from repro.bench.runner import run_algorithm
 
     algorithms = [algo.strip() for algo in args.algorithms.split(",")]
+    if args.plans is not None:
+        from repro.engine import available_plans
+
+        # --plans alone appends the full composed matrix; --plans a,b
+        # appends just those compositions.
+        extra = (
+            available_plans()
+            if args.plans == ""
+            else [p.strip() for p in args.plans.split(",")]
+        )
+        algorithms.extend(p for p in extra if p not in algorithms)
     # Validate every name against the registry up front — a typo should
     # fail before the (possibly expensive) graph load and timing runs.
     specs = {algo: get_algorithm(algo) for algo in algorithms}
@@ -307,9 +418,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="compute connected components")
     p.add_argument("graph")
     p.add_argument(
+        "-a",
         "--algorithm",
-        default="afforest",
-        help=f"registered algorithm name (one of: {algo_names})",
+        default=None,
+        help=f"registered algorithm or plan name (default: afforest; "
+        f"one of: {algo_names}; or '<sampling>+<finish>')",
+    )
+    p.add_argument(
+        "--plan",
+        default=None,
+        metavar="SAMPLING+FINISH",
+        help="composed plan to run (e.g. kout+sv); alternative to "
+        "--algorithm",
     )
     p.add_argument("--output", help="write labels to an .npz file")
     add_backend_args(p)
@@ -320,7 +440,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument(
         "--algorithms", default="afforest,sv,lp,bfs,dobfs",
-        help=f"comma-separated algorithm names (from: {algo_names})",
+        help=f"comma-separated algorithm or plan names (from: {algo_names}; "
+        "plans as '<sampling>+<finish>')",
+    )
+    p.add_argument(
+        "--plans",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PLAN[,PLAN...]",
+        help="also compare composed plans: a comma-separated list, or no "
+        "value for every registered plan",
     )
     p.add_argument("--repeats", type=int, default=7)
     p.add_argument(
@@ -331,6 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_args(p)
     add_trace_args(p)
     p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser(
+        "plans",
+        help="list the sampling x finish plan space "
+        "(--check validates every plan on every backend)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="run every composed plan on every backend against the "
+        "scipy oracle; non-zero exit on any failure",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the simulated/process backends during "
+        "--check",
+    )
+    p.set_defaults(fn=_cmd_plans)
 
     p = sub.add_parser("convert", help="translate between graph file formats")
     p.add_argument("input")

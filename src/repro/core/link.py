@@ -25,11 +25,7 @@ from typing import Generator
 
 import numpy as np
 
-from repro.constants import (
-    ITERATION_CAP_FACTOR,
-    ITERATION_CAP_SLACK,
-    VERTEX_DTYPE,
-)
+from repro.constants import ITERATION_CAP_FACTOR, ITERATION_CAP_SLACK
 from repro.errors import ConvergenceError
 from repro.parallel.machine import KernelContext
 

@@ -60,6 +60,15 @@ from repro.engine.pipelines import (
     sv_pipeline,
     sv_pipeline_edges,
 )
+from repro.engine.plan import (
+    CANONICAL_PLANS,
+    Plan,
+    PlanRegistry,
+    available_plans,
+    describe_plans,
+    get_plan,
+    run_plan,
+)
 from repro.engine.registry import (
     AlgorithmSpec,
     available_algorithms,
@@ -81,6 +90,13 @@ __all__ = [
     "available_algorithms",
     "describe_algorithms",
     "supported_backends",
+    "Plan",
+    "PlanRegistry",
+    "CANONICAL_PLANS",
+    "available_plans",
+    "describe_plans",
+    "get_plan",
+    "run_plan",
     "AlgorithmSpec",
     "CCResult",
     "Instrumentation",
@@ -106,9 +122,10 @@ __all__ = [
 
 
 def run(
-    name: str,
-    graph: CSRGraph,
+    name: str | CSRGraph | None = None,
+    graph: CSRGraph | None = None,
     *,
+    plan: str | Plan | None = None,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
     profile: bool = False,
@@ -116,6 +133,12 @@ def run(
     **params,
 ) -> CCResult:
     """Run registered algorithm ``name`` on ``graph`` and return its result.
+
+    ``name`` accepts registered algorithms and composed plan names
+    (``"kout+sv"``); ``plan=`` is explicit sugar for the latter —
+    ``engine.run(g, plan="kout+sv")`` and
+    ``engine.run(plan=engine.get_plan("kout+sv"), graph=g)`` both
+    dispatch the composition through the same path.
 
     ``backend`` selects the execution substrate: an
     :class:`~repro.engine.backends.ExecutionBackend` instance, a kind
@@ -138,6 +161,20 @@ def run(
     Remaining keyword arguments override the algorithm's registered
     defaults and are forwarded to its pipeline.
     """
+    if plan is not None:
+        plan_name = plan.name if isinstance(plan, Plan) else str(plan)
+        if graph is None and isinstance(name, CSRGraph):
+            name, graph = plan_name, name
+        elif name is None:
+            name = plan_name
+        else:
+            raise ConfigurationError(
+                "pass either an algorithm name or plan=, not both"
+            )
+    if not isinstance(name, str) or graph is None:
+        raise ConfigurationError(
+            "run() needs an algorithm/plan name and a graph"
+        )
     spec = get_algorithm(name)
     owned = False
     if backend is None:

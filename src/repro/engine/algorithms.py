@@ -3,11 +3,16 @@
 Imported lazily by the registry on first lookup.  Each entry binds a
 registry name to its engine entry point with metadata: a one-line
 description, default parameters, and the execution backends it supports.
-Afforest, Shiloach–Vishkin, label propagation (both variants), and the
-BFS family all dispatch to the backend-agnostic pipelines in
-:mod:`repro.engine.pipelines`; only the distributed and sequential
-references remain single-substrate wrappers (all return the unified
-:class:`~repro.engine.result.CCResult`).
+The classical algorithms are *canonical plans* — fixed points of the
+sampling × finish space (:mod:`repro.engine.plan`) whose composed
+execution is bit-identical to the historical monolithic pipelines; the
+``auto`` meta-algorithm probes the graph and selects a plan at runtime;
+only the distributed and sequential references remain single-substrate
+wrappers (all return the unified :class:`~repro.engine.result.CCResult`).
+
+Composed plan names (``"kout+sv"`` and friends) need no registration:
+:func:`repro.engine.registry.get_algorithm` resolves any
+``<sampling>+<finish>`` name through the plan registry directly.
 """
 
 from __future__ import annotations
@@ -15,37 +20,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.dist_cc import distributed_components
+from repro.engine.auto import auto_components
 from repro.engine.backends import ExecutionBackend
-from repro.engine.pipelines import (
-    DEFAULT_ALPHA,
-    DEFAULT_BETA,
-    afforest_pipeline,
-    bfs_pipeline,
-    dobfs_pipeline,
-    lp_datadriven_pipeline,
-    lp_pipeline,
-    sv_pipeline,
-)
+from repro.engine.finish import DEFAULT_ALPHA, DEFAULT_BETA
+from repro.engine.plan import PLAN_BACKENDS, run_plan
 from repro.engine.registry import register
 from repro.engine.result import CCResult
 from repro.graph.csr import CSRGraph
 from repro.unionfind.sequential import sequential_components
 
-#: substrates the backend-agnostic pipelines run on; the remaining
-#: algorithms wrap vectorized implementations and stay vectorized-only.
-PIPELINE_BACKENDS = ("vectorized", "simulated", "process")
+#: substrates the composed plans run on; the remaining algorithms wrap
+#: vectorized implementations and stay vectorized-only.
+PIPELINE_BACKENDS = PLAN_BACKENDS
 
 
 @register(
     "afforest",
     description="Afforest: neighbour-round sampling + component skipping "
-    "(the paper's algorithm, Fig. 5)",
+    "(the paper's algorithm, Fig. 5; canonical plan kout+settle)",
     backends=PIPELINE_BACKENDS,
     instrumented=True,
 )
 def _run_afforest(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for Afforest."""
-    return afforest_pipeline(graph, backend, **params)
+    return run_plan("kout+settle", graph, backend, **params)
 
 
 @register(
@@ -60,7 +58,7 @@ def _run_afforest_noskip(
     graph: CSRGraph, backend: ExecutionBackend, **params
 ) -> CCResult:
     """Engine entry point for Afforest without skipping."""
-    return afforest_pipeline(graph, backend, **params)
+    return run_plan("kout+settle", graph, backend, **params)
 
 
 @register(
@@ -72,7 +70,19 @@ def _run_afforest_noskip(
 )
 def _run_sv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for Shiloach–Vishkin."""
-    return sv_pipeline(graph, backend, **params)
+    return run_plan("none+sv", graph, backend, **params)
+
+
+@register(
+    "fastsv",
+    description="FastSV-style scatter-min hooking with per-iteration "
+    "pointer jumping (canonical plan none+fastsv)",
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
+)
+def _run_fastsv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for FastSV."""
+    return run_plan("none+fastsv", graph, backend, **params)
 
 
 @register(
@@ -83,7 +93,7 @@ def _run_sv(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
 )
 def _run_lp(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for synchronous label propagation."""
-    return lp_pipeline(graph, backend, **params)
+    return run_plan("none+lp", graph, backend, **params)
 
 
 @register(
@@ -96,7 +106,7 @@ def _run_lp_datadriven(
     graph: CSRGraph, backend: ExecutionBackend, **params
 ) -> CCResult:
     """Engine entry point for frontier label propagation."""
-    return lp_datadriven_pipeline(graph, backend, **params)
+    return run_plan("none+lp-datadriven", graph, backend, **params)
 
 
 @register(
@@ -108,7 +118,7 @@ def _run_lp_datadriven(
 )
 def _run_bfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for BFS-CC."""
-    return bfs_pipeline(graph, backend, **params)
+    return run_plan("none+bfs", graph, backend, **params)
 
 
 @register(
@@ -121,7 +131,20 @@ def _run_bfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
 )
 def _run_dobfs(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
     """Engine entry point for DOBFS-CC."""
-    return dobfs_pipeline(graph, backend, **params)
+    return run_plan("none+dobfs", graph, backend, **params)
+
+
+@register(
+    "auto",
+    description="adaptive meta-algorithm: probe degree skew, "
+    "pseudo-diameter and giant-component coverage, then run the "
+    "selected plan",
+    backends=PIPELINE_BACKENDS,
+    instrumented=True,
+)
+def _run_auto(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
+    """Engine entry point for runtime plan selection."""
+    return auto_components(graph, backend, **params)
 
 
 @register(

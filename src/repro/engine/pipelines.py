@@ -1,35 +1,37 @@
-"""Backend-agnostic connectivity pipelines (written once, run anywhere).
+"""Compatibility facade over the composed plan layer.
 
-Each pipeline is the *single* implementation of its algorithm's phase
-structure, expressed against :class:`~repro.engine.backends.ExecutionBackend`
-primitives.  Running it under :class:`~repro.engine.backends.VectorizedBackend`
-gives the wall-clock batch implementation; running it under
-:class:`~repro.engine.backends.SimulatedBackend` gives the concurrent
-instrumented one — same control flow, same counters, same phase labels
+The monolithic pipelines that used to live here were split into the
+sampling phase family (:mod:`repro.engine.sampling`) and the finish
+phase family (:mod:`repro.engine.finish`), composed by the plan layer
+(:mod:`repro.engine.plan`).  The historical ``*_pipeline`` entry points
+survive as thin wrappers over their canonical plans — same signatures,
+same defaults, bit-identical labels, counters, and phase labels
 (Fig. 7's legend: ``I`` init, ``L<r>`` link rounds, ``C<r>`` compress,
 ``F`` find-largest, ``H`` final link/"hook", ``C*`` final compress for
 Afforest; ``I`` then ``H<i>``/``S<i>`` per iteration for SV; ``P<i>``
 propagate rounds (``P*`` the settle sweep) for label propagation;
 ``T<i>``/``B<i>`` top-down/bottom-up frontier levels for BFS/DOBFS).
+New code should address plans directly (``engine.run("kout+sv", g)`` or
+``run_plan``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.constants import (
     DEFAULT_NEIGHBOR_ROUNDS,
     DEFAULT_SKIP_SAMPLE_SIZE,
-    ITERATION_CAP_FACTOR,
-    ITERATION_CAP_SLACK,
-    VERTEX_DTYPE,
 )
 from repro.engine.backends import ExecutionBackend
+from repro.engine.finish import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    bfs_pipeline,
+    dobfs_pipeline,
+    sv_pipeline_edges,
+)
+from repro.engine.plan import run_plan
 from repro.engine.result import CCResult
-from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.csr import CSRGraph
-from repro.obs import phase_label
-from repro.unionfind.parent import ParentArray
 
 __all__ = [
     "DEFAULT_ALPHA",
@@ -43,38 +45,6 @@ __all__ = [
     "sv_pipeline_edges",
 ]
 
-#: GAP's direction-switch parameters (DOBFS).
-DEFAULT_ALPHA = 15.0
-DEFAULT_BETA = 18.0
-
-
-def _check_rounds(neighbor_rounds: int) -> None:
-    if neighbor_rounds < 0:
-        raise ConfigurationError(
-            f"neighbor_rounds must be >= 0, got {neighbor_rounds}"
-        )
-
-
-def _random_round_edges(
-    graph: CSRGraph, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
-    """One *random* neighbour per vertex (with replacement across rounds).
-
-    The alternative sampling the paper weighs in Sec. VI-A before choosing
-    first-``k``: statistically equivalent coverage, but the sampled slots
-    cannot be tracked, so the final phase must reprocess every slot.
-    """
-    deg = np.asarray(graph.degree())
-    verts = np.nonzero(deg > 0)[0].astype(VERTEX_DTYPE)
-    offsets = rng.integers(0, deg[verts])
-    nbrs = graph.indices[graph.indptr[verts] + offsets]
-    return verts, nbrs
-
-
-# --------------------------------------------------------------------- #
-# Afforest (paper Fig. 5)
-# --------------------------------------------------------------------- #
-
 
 def afforest_pipeline(
     graph: CSRGraph,
@@ -86,157 +56,17 @@ def afforest_pipeline(
     seed: int = 0,
     sampling: str = "first",
 ) -> CCResult:
-    """Run Afforest on any execution backend; returns the exact labeling.
-
-    Pipeline (identical on every backend):
-
-    1. initialise π self-pointing;
-    2. ``neighbor_rounds`` rounds of neighbour sampling, each a link over
-       ``(v, N(v)[r])`` followed by a compress — O(|V|) work per round;
-    3. probabilistic identification of the largest intermediate component
-       by sampling π (``skip_largest``);
-    4. final link phase over the remaining edge slots, skipping giant-
-       component vertices wholesale (safe by Theorem 3);
-    5. final compress: π becomes the component labeling.
-
-    ``sampling`` selects ``first`` (the first stored neighbours, whose
-    slots the final phase can skip) or ``random`` (a random neighbour per
-    vertex per round; untrackable, so the final phase reprocesses every
-    slot — the trade-off Sec. VI-A cites for choosing ``first``).
-    """
-    _check_rounds(neighbor_rounds)
-    if sampling not in ("first", "random"):
-        raise ConfigurationError(
-            f"sampling must be 'first' or 'random', got {sampling!r}"
-        )
-    n = graph.num_vertices
-    if n == 0:
-        result = CCResult(
-            labels=np.arange(0, dtype=VERTEX_DTYPE),
-            neighbor_rounds=neighbor_rounds,
-        )
-        result.run_stats = backend.run_stats()
-        return result
-
-    pi = backend.init_labels(n, phase="I")
-    result = CCResult(labels=pi, neighbor_rounds=neighbor_rounds)
-    deg = np.asarray(graph.degree())
-    rng = np.random.default_rng(seed)
-
-    # Phase labels carry the round as a structured attribute (the flat
-    # strings "L0"/"C0"/... are unchanged for phase_seconds consumers).
-    for r in range(neighbor_rounds):
-        link_phase = phase_label("L", round=r)
-        if sampling == "first":
-            result.edges_sampled += int(np.count_nonzero(deg > r))
-            rounds = backend.link_neighbor_round(pi, graph, r, phase=link_phase)
-        else:
-            src, dst = _random_round_edges(graph, rng)
-            result.edges_sampled += int(src.shape[0])
-            rounds = backend.link_edges(pi, src, dst, phase=link_phase)
-        if rounds is not None:
-            result.link_rounds.append(rounds)
-        passes = backend.compress(pi, phase=phase_label("C", round=r))
-        if passes is not None:
-            result.compress_passes.append(passes)
-
-    # Random sampling cannot mark which slots were consumed, so the final
-    # phase starts from slot 0 (reprocessing); first-k sampling resumes at
-    # slot neighbor_rounds.
-    final_start = neighbor_rounds if sampling == "first" else 0
-
-    largest: int | None = None
-    if skip_largest:
-        largest = backend.find_largest(pi, sample_size, rng, phase="F")
-        result.largest_label = largest
-
-    final, skipped, rounds = backend.link_remaining(
-        pi, graph, final_start, largest, phase="H"
+    """Afforest on any backend: the canonical ``kout+settle`` plan."""
+    return run_plan(
+        "kout+settle",
+        graph,
+        backend,
+        neighbor_rounds=neighbor_rounds,
+        skip_largest=skip_largest,
+        sample_size=sample_size,
+        seed=seed,
+        sampling=sampling,
     )
-    result.edges_final = final
-    result.edges_skipped = skipped
-    if rounds is not None:
-        result.link_rounds.append(rounds)
-    passes = backend.compress(pi, phase=phase_label("C", final=True))
-    if passes is not None:
-        result.compress_passes.append(passes)
-    result.labels = pi
-    result.run_stats = backend.run_stats()
-    return result
-
-
-# --------------------------------------------------------------------- #
-# Shiloach–Vishkin (paper Fig. 1, GAP formulation)
-# --------------------------------------------------------------------- #
-
-
-def sv_pipeline_edges(
-    backend: ExecutionBackend,
-    num_vertices: int,
-    src: np.ndarray,
-    dst: np.ndarray,
-    *,
-    track_depth: bool = False,
-    shortcut: str = "full",
-) -> CCResult:
-    """Shiloach–Vishkin over a flat directed edge list, any backend.
-
-    Each outer iteration performs a *hook* pass over every edge — ``(u, v)``
-    hooks ``π(v)`` under ``π(u)`` when ``π(u) < π(v)`` and ``π(v)`` is a
-    root — followed by a *shortcut* pass.  Converges when a full iteration
-    changes nothing; unlike Afforest, every edge is reprocessed in every
-    iteration, which is exactly the work-inefficiency the paper targets.
-
-    ``track_depth`` records the maximum tree depth before each shortcut —
-    the Table II statistic — at the cost of an O(n) scan per iteration.
-    ``shortcut`` selects full compression per iteration (GAP's formulation,
-    the default) or the original algorithm's single ``pi <- pi[pi]`` step.
-    """
-    if shortcut not in ("full", "single"):
-        raise ConfigurationError(
-            f"shortcut must be 'full' or 'single', got {shortcut!r}"
-        )
-    n = num_vertices
-    if n == 0:
-        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
-        result.run_stats = backend.run_stats()
-        return result
-    src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
-    dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
-
-    pi = backend.init_labels(n, phase="I")
-    result = CCResult(labels=pi)
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    while True:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(f"SV exceeded {cap} iterations")
-        changed = backend.hook_pass(
-            pi, src, dst, phase=phase_label("H", round=iterations)
-        )
-        result.edges_processed += int(src.shape[0])
-        if track_depth:
-            d = ParentArray(pi).max_depth()
-            result.depth_per_iteration.append(d)
-            result.max_tree_depth = max(result.max_tree_depth, d)
-        shortcut_phase = phase_label("S", round=iterations)
-        if shortcut == "full":
-            backend.compress(pi, phase=shortcut_phase)
-        else:
-            # The original formulation's single shortcut step per
-            # iteration: pi <- pi[pi] once.  Trees shrink gradually and
-            # convergence takes more iterations than GAP's full compress.
-            backend.shortcut_step(pi, phase=shortcut_phase)
-        if not changed:
-            # With single-step shortcutting the trees may still be deep;
-            # converged means no more hooks, so finish compressing now.
-            if shortcut == "single":
-                backend.compress(pi, phase=phase_label("S", final=True))
-            break
-    result.iterations = iterations
-    result.run_stats = backend.run_stats()
-    return result
 
 
 def sv_pipeline(
@@ -246,284 +76,19 @@ def sv_pipeline(
     track_depth: bool = False,
     shortcut: str = "full",
 ) -> CCResult:
-    """Shiloach–Vishkin over a CSR graph (expands to the edge array)."""
-    n = graph.num_vertices
-    if n == 0:
-        empty = np.empty(0, dtype=VERTEX_DTYPE)
-        return sv_pipeline_edges(
-            backend, 0, empty, empty, track_depth=track_depth,
-            shortcut=shortcut,
-        )
-    src, dst = graph.edge_array()
-    return sv_pipeline_edges(
-        backend, n, src, dst, track_depth=track_depth, shortcut=shortcut
+    """Shiloach–Vishkin over a CSR graph: the canonical ``none+sv`` plan."""
+    return run_plan(
+        "none+sv", graph, backend, track_depth=track_depth, shortcut=shortcut
     )
 
 
-# --------------------------------------------------------------------- #
-# Label propagation (paper Sec. II-B)
-# --------------------------------------------------------------------- #
-
-
 def lp_pipeline(graph: CSRGraph, backend: ExecutionBackend) -> CCResult:
-    """Synchronous min-label propagation, any backend.
-
-    Each round (phase ``P<i>``) is one full-edge min-label sweep
-    (:meth:`~repro.engine.backends.ExecutionBackend.propagate_pass`);
-    convergence when a sweep reports no change — sound on every substrate
-    because a pass reporting zero changes performed no writes.  Work is
-    ``O(D · |E|)``, the diameter dependence the paper contrasts against.
-    """
-    n = graph.num_vertices
-    if n == 0:
-        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
-        result.run_stats = backend.run_stats()
-        return result
-    pi = backend.init_labels(n, phase="I")
-    result = CCResult(labels=pi)
-    m = graph.num_directed_edges
-    if m == 0:
-        result.labels = pi
-        result.run_stats = backend.run_stats()
-        return result
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    while True:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(
-                f"label propagation exceeded {cap} iterations"
-            )
-        changed = backend.propagate_pass(
-            pi, graph, phase=phase_label("P", round=iterations)
-        )
-        result.edges_processed += m
-        if not changed:
-            break
-    result.iterations = iterations
-    result.labels = pi
-    result.run_stats = backend.run_stats()
-    return result
+    """Synchronous min-label propagation: the canonical ``none+lp`` plan."""
+    return run_plan("none+lp", graph, backend)
 
 
 def lp_datadriven_pipeline(
     graph: CSRGraph, backend: ExecutionBackend
 ) -> CCResult:
-    """Data-driven (frontier) min-label propagation, any backend.
-
-    Each round (phase ``P<i>``) pushes labels from the frontier of
-    vertices whose label changed last round
-    (:meth:`~repro.engine.backends.ExecutionBackend.frontier_expand`),
-    so total work shrinks from ``O(D·|E|)`` toward the sum of active-edge
-    counts.  Once the frontier drains, a settle phase (``P*``) lets the
-    substrate certify/repair the fixpoint — zero passes everywhere except
-    the process backend, whose non-atomic cross-block min-writes can lose
-    an update.
-    """
-    n = graph.num_vertices
-    if n == 0:
-        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
-        result.run_stats = backend.run_stats()
-        return result
-    pi = backend.init_labels(n, phase="I")
-    result = CCResult(labels=pi)
-    if graph.num_directed_edges == 0:
-        result.labels = pi
-        result.run_stats = backend.run_stats()
-        return result
-    indptr = graph.indptr
-    frontier = np.arange(n, dtype=VERTEX_DTYPE)
-    cap = ITERATION_CAP_FACTOR * n + ITERATION_CAP_SLACK
-    iterations = 0
-    while frontier.size:
-        iterations += 1
-        if iterations > cap:
-            raise ConvergenceError(
-                f"data-driven label propagation exceeded {cap} iterations"
-            )
-        total = int((indptr[frontier + 1] - indptr[frontier]).sum())
-        if total == 0:
-            break
-        phase = phase_label(
-            "P", round=iterations, frontier=int(frontier.shape[0])
-        )
-        backend.record_frontier(int(frontier.shape[0]), phase=phase)
-        result.edges_processed += total
-        frontier = backend.frontier_expand(pi, graph, frontier, phase=phase)
-    backend.propagate_settle(pi, graph, phase=phase_label("P", final=True))
-    result.iterations = iterations
-    result.labels = pi
-    result.run_stats = backend.run_stats()
-    return result
-
-
-# --------------------------------------------------------------------- #
-# BFS connected components (paper Sec. II-B; DOBFS after Beamer et al.)
-# --------------------------------------------------------------------- #
-
-
-def bfs_pipeline(graph: CSRGraph, backend: ExecutionBackend) -> CCResult:
-    """Connected components via repeated frontier-parallel BFS, any backend.
-
-    Components are found one at a time: an ascending cursor scan picks
-    the smallest unvisited vertex as seed (so labels are component
-    minima, bit-identical to the hooking algorithms), then phase ``T<i>``
-    frontier expansions label everything reached.  Unvisited vertices
-    carry the sentinel ``n`` — compatible with the backends' min-label
-    push, since every real label is smaller.  Each edge is touched once
-    (linear work), but components are processed serially — the weakness
-    Fig. 8c exposes.
-    """
-    n = graph.num_vertices
-    if n == 0:
-        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
-        result.run_stats = backend.run_stats()
-        return result
-    sentinel = n
-    pi = backend.init_labels(n, phase="I", fill=sentinel)
-    result = CCResult(labels=pi)
-    indptr = graph.indptr
-    edges = 0
-    steps = 0
-    step_edges: list[int] = []
-    # Seeds are scanned in id order; the cursor never revisits labelled
-    # prefix entries, so the scan is O(n) total.
-    cursor = 0
-    while cursor < n:
-        if int(pi[cursor]) != sentinel:
-            cursor += 1
-            continue
-        label = cursor
-        pi[cursor] = label
-        frontier = np.asarray([cursor], dtype=VERTEX_DTYPE)
-        while frontier.size:
-            steps += 1
-            total = int((indptr[frontier + 1] - indptr[frontier]).sum())
-            if total == 0:
-                break
-            edges += total
-            step_edges.append(total)
-            phase = phase_label(
-                "T", round=steps, frontier=int(frontier.shape[0])
-            )
-            backend.record_frontier(int(frontier.shape[0]), phase=phase)
-            frontier = backend.frontier_expand(
-                pi, graph, frontier, phase=phase
-            )
-        cursor += 1
-    # step_edges: edges examined per frontier expansion, in execution
-    # order — the per-parallel-phase work profile used by the scaling
-    # model (Fig. 8b).
-    result.edges_processed = edges
-    result.bfs_steps = steps
-    result.step_edges = step_edges
-    result.labels = pi
-    result.run_stats = backend.run_stats()
-    return result
-
-
-def dobfs_pipeline(
-    graph: CSRGraph,
-    backend: ExecutionBackend,
-    *,
-    alpha: float = DEFAULT_ALPHA,
-    beta: float = DEFAULT_BETA,
-) -> CCResult:
-    """Connected components via direction-optimizing BFS, any backend.
-
-    Like :func:`bfs_pipeline` but each step chooses between a top-down
-    frontier expansion (phase ``T<i>``) and a bottom-up pull over the
-    unvisited vertices (phase ``B<i>``), following GAP's heuristic: go
-    bottom-up when the frontier's out-degree exceeds
-    ``remaining_edges / alpha``; return to top-down once the frontier
-    both shrinks and drops below ``n / beta`` (do-while hysteresis).
-
-    ``edges_processed`` is the early-exit work model (a bottom-up scan
-    stops at its first frontier hit — what real hardware touches);
-    ``edges_gathered`` whatever the substrate actually examined.
-    """
-    n = graph.num_vertices
-    if n == 0:
-        result = CCResult(labels=np.arange(0, dtype=VERTEX_DTYPE))
-        result.run_stats = backend.run_stats()
-        return result
-    sentinel = n
-    pi = backend.init_labels(n, phase="I", fill=sentinel)
-    result = CCResult(labels=pi)
-    deg = np.asarray(graph.degree())
-
-    edges_modeled = 0
-    edges_gathered = 0
-    td_steps = 0
-    bu_steps = 0
-    step_edges: list[int] = []
-
-    # GAP's heuristic state: edges_to_check counts unexplored out-degree
-    # and only ever decreases; scout is the current frontier's out-degree.
-    edges_to_check = graph.num_directed_edges
-    cursor = 0
-    while cursor < n:
-        if int(pi[cursor]) != sentinel:
-            cursor += 1
-            continue
-        label = cursor
-        pi[cursor] = label
-        frontier = np.asarray([cursor], dtype=VERTEX_DTYPE)
-        while frontier.size:
-            scout = int(deg[frontier].sum())
-            if scout > edges_to_check / alpha:
-                # Bottom-up regime: sweep until the frontier both shrinks
-                # and drops below n / beta (GAP's do-while hysteresis).
-                awake = frontier.shape[0]
-                while True:
-                    in_frontier = np.zeros(n, dtype=bool)
-                    in_frontier[frontier] = True
-                    bu_steps += 1
-                    phase = phase_label(
-                        "B", round=bu_steps, frontier=int(awake)
-                    )
-                    backend.record_frontier(int(awake), phase=phase)
-                    frontier, modeled, gathered = backend.bottom_up_pass(
-                        pi, graph, in_frontier, label, sentinel, phase=phase
-                    )
-                    edges_modeled += modeled
-                    edges_gathered += gathered
-                    step_edges.append(modeled)
-                    prev_awake, awake = awake, frontier.shape[0]
-                    if awake == 0 or (
-                        awake < prev_awake and awake <= n / beta
-                    ):
-                        break
-                edges_to_check = max(
-                    edges_to_check - int(deg[frontier].sum()), 0
-                )
-            else:
-                edges_to_check = max(edges_to_check - scout, 0)
-                td_steps += 1
-                step_edges.append(scout)
-                edges_modeled += scout
-                edges_gathered += scout
-                if scout == 0:
-                    frontier = np.empty(0, dtype=VERTEX_DTYPE)
-                else:
-                    phase = phase_label(
-                        "T", round=td_steps, frontier=int(frontier.shape[0])
-                    )
-                    backend.record_frontier(
-                        int(frontier.shape[0]), phase=phase
-                    )
-                    frontier = backend.frontier_expand(
-                        pi, graph, frontier, phase=phase
-                    )
-        cursor += 1
-    # step_edges: modeled edges examined per step, in execution order
-    # (Fig. 8b input).
-    result.edges_processed = edges_modeled
-    result.edges_gathered = edges_gathered
-    result.top_down_steps = td_steps
-    result.bottom_up_steps = bu_steps
-    result.bfs_steps = td_steps + bu_steps
-    result.step_edges = step_edges
-    result.labels = pi
-    result.run_stats = backend.run_stats()
-    return result
+    """Frontier min-label propagation: the ``none+lp-datadriven`` plan."""
+    return run_plan("none+lp-datadriven", graph, backend)

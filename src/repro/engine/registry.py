@@ -104,12 +104,26 @@ def register(
 
 
 def get_algorithm(name: str) -> AlgorithmSpec:
-    """The spec registered under ``name``; raises for unknown names."""
+    """The spec registered under ``name``; raises for unknown names.
+
+    Names containing ``+`` that are not explicitly registered resolve
+    through the plan registry (:mod:`repro.engine.plan`): any valid
+    ``<sampling>+<finish>`` composition dispatches like a registered
+    algorithm without needing its own entry.
+    """
     _ensure_builtins()
     spec = _REGISTRY.get(name)
+    if spec is None and "+" in name:
+        # Local import: the plan layer imports engine machinery at module
+        # scope; resolving lazily keeps the import graph acyclic.
+        from repro.engine.plan import plan_algorithm_spec
+
+        return plan_algorithm_spec(name)
     if spec is None:
         raise ConfigurationError(
-            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)} "
+            "plus composed plans ('<sampling>+<finish>', see "
+            "available_plans())"
         )
     return spec
 
@@ -120,10 +134,23 @@ def available_algorithms() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def describe_algorithms() -> list[tuple[str, str]]:
-    """``(name, description)`` pairs for every registered algorithm."""
+def describe_algorithms(
+    include_plans: bool = True,
+) -> list[tuple[str, str]]:
+    """``(name, description)`` pairs for every resolvable algorithm.
+
+    Registered algorithms come first (sorted); with ``include_plans``
+    (the default) every composed ``<sampling>+<finish>`` plan follows, so
+    front-ends presenting "what can I run" see the full matrix instead of
+    the stale monolith-only view.
+    """
     _ensure_builtins()
-    return [(n, _REGISTRY[n].description) for n in sorted(_REGISTRY)]
+    pairs = [(n, _REGISTRY[n].description) for n in sorted(_REGISTRY)]
+    if include_plans:
+        from repro.engine.plan import describe_plans
+
+        pairs.extend(describe_plans())
+    return pairs
 
 
 def supported_backends(name: str) -> tuple[str, ...]:
@@ -136,28 +163,33 @@ def support_matrix_markdown() -> str:
 
     Derived entirely from registry metadata, so the rendering in
     ``docs/algorithms.md`` cannot drift from the code (a test regenerates
-    and compares).  Algorithms registered with backends outside the
-    canonical :data:`~repro.engine.backends.BACKEND_KINDS` get extra
-    columns appended in registration order.
+    and compares).  Registered algorithms come first, followed by every
+    composed ``<sampling>+<finish>`` plan, so the matrix covers the full
+    sampling × finish × backend space.  Algorithms registered with
+    backends outside the canonical
+    :data:`~repro.engine.backends.BACKEND_KINDS` get extra columns
+    appended in registration order.
     """
     _ensure_builtins()
     # Local import: backends.py is heavy (numpy, multiprocessing) and the
     # registry must stay importable without it at module scope.
     from repro.engine.backends import BACKEND_KINDS
+    from repro.engine.plan import PLAN_BACKENDS, available_plans
 
     kinds = list(BACKEND_KINDS)
     for name in sorted(_REGISTRY):
         for kind in _REGISTRY[name].backends:
             if kind not in kinds:
                 kinds.append(kind)
+    rows: list[tuple[str, tuple[str, ...]]] = [
+        (name, _REGISTRY[name].backends) for name in sorted(_REGISTRY)
+    ]
+    rows.extend((name, PLAN_BACKENDS) for name in available_plans())
     lines = [
         "| algorithm | " + " | ".join(kinds) + " |",
         "|---|" + "|".join("---" for _ in kinds) + "|",
     ]
-    for name in sorted(_REGISTRY):
-        spec = _REGISTRY[name]
-        cells = " | ".join(
-            "✓" if spec.supports_backend(k) else "—" for k in kinds
-        )
+    for name, backends in rows:
+        cells = " | ".join("✓" if k in backends else "—" for k in kinds)
         lines.append(f"| `{name}` | {cells} |")
     return "\n".join(lines)

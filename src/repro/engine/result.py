@@ -55,6 +55,9 @@ class CCResult:
     labels: np.ndarray
     #: registry name of the algorithm that produced this result.
     algorithm: str = ""
+    #: composed plan name ("<sampling>+<finish>") when the run went
+    #: through the plan layer — for ``auto``, the plan it selected.
+    plan: str = ""
     #: ``kind`` of the execution backend ("vectorized" / "simulated").
     backend: str = ""
     #: resolved parameters the run used (registry defaults + overrides).

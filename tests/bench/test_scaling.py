@@ -68,9 +68,43 @@ class TestSmoke:
             for r in report["records"]
             if "backend" in r
         }
-        # Full matrix: 2 graphs x 4 algorithms x 2 backends.
-        assert len(combos) == 16
+        # Full matrix: 2 graphs x 6 algorithms x 2 backends.
+        assert len(combos) == 24
         assert all(r.get("matches_oracle", True) for r in report["records"])
+        # Plan provenance: auto's record names the plan the probes chose.
+        plans = {
+            (r["dataset"], r["algorithm"]): r["plan"]
+            for r in report["records"]
+            if "plan" in r
+        }
+        assert plans[("powerlaw-5k", "auto")] == "kout+settle"
+        assert plans[("lattice-70x70", "auto")] == "none+fastsv"
+        assert plans[("powerlaw-5k", "kout+sv")] == "kout+sv"
+
+    def test_baseline_compare_flags_semantic_drift(self):
+        from repro.bench.smoke import compare_against_baseline
+
+        record = {
+            "dataset": "g",
+            "algorithm": "auto",
+            "backend": "vectorized",
+            "median_seconds": 1.0,
+            "num_components": 3,
+            "plan": "kout+settle",
+        }
+        same, _ = compare_against_baseline(
+            {"records": [record]}, {"records": [record]}
+        )
+        assert same == []
+        drifted = dict(record, num_components=4, plan="none+lp")
+        failures, notes = compare_against_baseline(
+            {"records": [drifted]}, {"records": [record]}
+        )
+        assert len(failures) == 2  # component count + plan choice
+        missing, _ = compare_against_baseline(
+            {"records": []}, {"records": [record]}
+        )
+        assert missing and "missing" in missing[0]
 
     def test_smoke_cli_writes_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"

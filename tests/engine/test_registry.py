@@ -11,9 +11,11 @@ from repro.errors import ConfigurationError
 EXPECTED_BUILTINS = [
     "afforest",
     "afforest-noskip",
+    "auto",
     "bfs",
     "distributed",
     "dobfs",
+    "fastsv",
     "lp",
     "lp-datadriven",
     "sequential",
@@ -31,9 +33,16 @@ class TestAvailability:
 
     def test_describe_pairs_with_descriptions(self):
         pairs = engine.describe_algorithms()
-        assert [n for n, _ in pairs] == EXPECTED_BUILTINS
+        names = [n for n, _ in pairs]
+        # Registered algorithms first, then every composed plan.
+        assert names[: len(EXPECTED_BUILTINS)] == EXPECTED_BUILTINS
+        assert names[len(EXPECTED_BUILTINS):] == engine.available_plans()
         for _, description in pairs:
             assert description.strip()
+
+    def test_describe_can_exclude_plans(self):
+        pairs = engine.describe_algorithms(include_plans=False)
+        assert [n for n, _ in pairs] == EXPECTED_BUILTINS
 
 
 class TestMetadata:
@@ -72,6 +81,20 @@ class TestLookup:
     def test_unknown_name_lists_available(self):
         with pytest.raises(ConfigurationError, match="afforest"):
             engine.get_algorithm("magic")
+
+    def test_unknown_name_mentions_plans(self):
+        with pytest.raises(ConfigurationError, match="composed plans"):
+            engine.get_algorithm("magic")
+
+    def test_composed_plan_name_resolves(self):
+        spec = engine.get_algorithm("kout+sv")
+        assert spec.name == "kout+sv"
+        assert spec.backends == ("vectorized", "simulated", "process")
+        assert spec.instrumented
+
+    def test_unknown_plan_phase_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            engine.get_algorithm("magic+sv")
 
 
 class TestCustomRegistration:

@@ -99,6 +99,45 @@ class TestSolve:
         ) == 0
         assert "lp [process]: 2 components" in capsys.readouterr().out
 
+    def test_plan_option(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--plan", "kout+sv"]) == 0
+        assert "kout+sv: 2 components" in capsys.readouterr().out
+
+    def test_plan_name_via_algorithm_flag(self, graph_file, capsys):
+        assert main(["solve", graph_file, "-a", "ldd+fastsv"]) == 0
+        assert "ldd+fastsv: 2 components" in capsys.readouterr().out
+
+    def test_plan_and_algorithm_conflict(self, graph_file, capsys):
+        assert main(
+            ["solve", graph_file, "-a", "sv", "--plan", "kout+sv"]
+        ) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_auto_reports_selected_plan(self, graph_file, capsys):
+        assert main(["solve", graph_file, "-a", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "auto (plan " in out
+        assert "2 components" in out
+
+    def test_unknown_plan(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--plan", "magic+sv"]) == 1
+        assert "unknown sampling" in capsys.readouterr().err
+
+
+class TestPlans:
+    def test_lists_matrix(self, capsys):
+        assert main(["plans"]) == 0
+        out = capsys.readouterr().out
+        assert "kout+sv" in out
+        assert "none+dobfs" in out
+        assert "[skip-capable]" in out
+        assert "[whole-graph" in out
+
+    def test_check_validates_matrix(self, capsys):
+        assert main(["plans", "--check", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "plan×backend combinations OK" in out
+
 
 class TestCompare:
     def test_prints_table(self, graph_file, capsys):
@@ -109,6 +148,19 @@ class TestCompare:
         assert "afforest" in out
         assert "sv" in out
         assert "speedup_vs_afforest" in out
+
+    def test_composed_plans_compare(self, graph_file, capsys):
+        assert main(
+            [
+                "compare", graph_file,
+                "--algorithms", "afforest",
+                "--plans", "kout+sv,none+fastsv",
+                "--repeats", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kout+sv" in out
+        assert "none+fastsv" in out
 
     def test_process_backend_skips_unsupported(self, graph_file, capsys):
         assert main(
