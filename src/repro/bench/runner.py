@@ -128,6 +128,12 @@ def run_algorithm(
         extra["edges_processed"] = first.edges_processed
     if first.iterations:
         extra["iterations"] = first.iterations
+    if first.counters:
+        # Profiled-sample counters (rounds_skipped, bytes_allocated,
+        # fused_passes, settle_passes, ...): the optimization observables
+        # the perf gate and the smoke report's round/allocation columns
+        # are built from.
+        extra["counters"] = {k: int(v) for k, v in first.counters.items()}
     if first.phase_seconds:
         extra["phase_seconds"] = dict(first.phase_seconds)
     if first.trace is not None:

@@ -1,15 +1,24 @@
 """Oracle-checked smoke benchmark: ``python -m repro.bench.smoke``.
 
 A deliberately small, fast benchmark meant for continuous integration:
-it times Afforest, Shiloach–Vishkin, and two frontier pipelines
-(data-driven label propagation, BFS-CC) on a power-law and a lattice
-graph, on both the vectorized and the process backend, and validates
-every labeling against the sequential union-find oracle.  Any
-disagreement with the oracle is a hard failure (non-zero exit), so the
-job doubles as an end-to-end correctness gate for the process backend's
-shared-memory path.  Timings are written as JSON for archiving as a
-workflow artifact; they are informational (CI machines are noisy), the
-pass/fail signal is correctness only.
+it times the hooking finishes (Afforest, Shiloach–Vishkin, FastSV) and
+two frontier pipelines (data-driven label propagation, BFS-CC) on a
+power-law and a lattice graph, on both the vectorized and the process
+backend, and validates every labeling against the sequential union-find
+oracle.  Any disagreement with the oracle is a hard failure (non-zero
+exit), so the job doubles as an end-to-end correctness gate for the
+process backend's shared-memory path.  Records carry the optimization
+observables (iteration counts, ``rounds_skipped``, ``bytes_allocated``,
+``fused_passes``) next to the timings.
+
+Against a committed baseline (``--baseline BENCH_smoke.json``) the run
+always gates on *semantic* drift — vanished combinations, component-count
+changes, plan-provenance changes.  With ``--fail-threshold`` it becomes a
+hard **perf gate**: any record whose median slows down beyond the
+threshold ratio fails the run.  ``--gate-report`` re-gates a previously
+written report without re-running the benchmarks (CI splits measure and
+gate into separate steps), and ``--summary-out`` appends a markdown
+comparison table (pointed at ``$GITHUB_STEP_SUMMARY`` in CI).
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import argparse
 import json
 import platform
 import sys
+from typing import Callable
 
 import numpy as np
 
@@ -31,18 +41,25 @@ from repro.unionfind.sequential import sequential_components
 
 #: (dataset name, builder) pairs — small enough for a sub-minute CI job
 #: yet covering both degree regimes (skewed power-law, uniform lattice).
-SMOKE_GRAPHS: tuple[tuple[str, object], ...] = (
+SMOKE_GRAPHS: tuple[tuple[str, Callable[[], CSRGraph]], ...] = (
     ("powerlaw-5k", lambda: barabasi_albert_graph(5000, edges_per_vertex=4, seed=7)),
     ("lattice-70x70", lambda: grid_graph(70, 70)),
 )
 
-#: Hooking algorithms plus one frontier pipeline of each flavour
-#: (label push, BFS level sweep) so the process backend's frontier task
-#: bodies are exercised end-to-end by CI, plus the plan layer: one
-#: composed plan with no legacy alias and the ``auto`` meta-algorithm
-#: (whose selected plan lands in the record's ``plan`` field).
-SMOKE_ALGORITHMS = ("afforest", "sv", "lp-datadriven", "bfs", "kout+sv", "auto")
+#: Hooking algorithms (including the fused FastSV hot path the perf gate
+#: tracks) plus one frontier pipeline of each flavour (label push, BFS
+#: level sweep) so the process backend's frontier task bodies are
+#: exercised end-to-end by CI, plus the plan layer: one composed plan
+#: with no legacy alias and the ``auto`` meta-algorithm (whose selected
+#: plan lands in the record's ``plan`` field).
+SMOKE_ALGORITHMS = (
+    "afforest", "sv", "fastsv", "lp-datadriven", "bfs", "kout+sv", "auto",
+)
 SMOKE_BACKENDS = ("vectorized", "process")
+
+#: Profiled-sample counters promoted to report columns (the allocation /
+#: round-skip observables of the hot-path optimization pass).
+COUNTER_COLUMNS = ("rounds_skipped", "bytes_allocated", "fused_passes")
 
 
 def _canonical(labels: np.ndarray) -> np.ndarray:
@@ -96,11 +113,22 @@ def run_smoke(
                 }
                 if "plan" in rec.extra:
                     record["plan"] = rec.extra["plan"]
+                if "iterations" in rec.extra:
+                    record["iterations"] = rec.extra["iterations"]
+                counters = rec.extra.get("counters", {})
+                for name in COUNTER_COLUMNS:
+                    if name in counters:
+                        record[name] = counters[name]
                 records.append(record)
                 status = "ok" if ok else "ORACLE MISMATCH"
+                rounds = record.get("iterations", "-")
+                skipped = record.get("rounds_skipped", "-")
+                alloc = record.get("bytes_allocated", "-")
                 print(
                     f"{dataset:>14} {algorithm:<14} {kind:<10} "
-                    f"{rec.median_seconds * 1000:8.2f} ms  {status}"
+                    f"{rec.median_seconds * 1000:8.2f} ms  "
+                    f"rounds={rounds:<4} skipped={skipped:<3} "
+                    f"alloc={alloc:<9} {status}"
                 )
         if scaling:
             curve = worker_scaling_curve(
@@ -121,22 +149,31 @@ def run_smoke(
     return report, failures
 
 
-def compare_against_baseline(report: dict, baseline: dict) -> tuple[list[str], list[str]]:
+def compare_against_baseline(
+    report: dict,
+    baseline: dict,
+    *,
+    fail_threshold: float | None = None,
+) -> tuple[list[str], list[str]]:
     """Compare a fresh smoke ``report`` against the committed baseline.
 
-    Returns ``(failures, notes)``.  Failures are *semantic* regressions —
-    a (dataset, algorithm, backend) combination that vanished, a
-    component-count change, or ``auto`` selecting a different plan than
-    the one on record (probes are deterministic, so a drift means the
-    decision rule changed without the baseline being regenerated).
-    Timing movement is reported as notes only: CI machines are noisy, so
-    wall-clock never gates.
+    Returns ``(failures, notes)``.  Failures always include *semantic*
+    regressions — a (dataset, algorithm, backend) combination that
+    vanished, a component-count change, or ``auto`` selecting a different
+    plan than the one on record (probes are deterministic, so a drift
+    means the decision rule changed without the baseline being
+    regenerated).
+
+    With ``fail_threshold`` set (e.g. ``1.25``), timing becomes a hard
+    gate too: a record whose median exceeds ``fail_threshold`` times its
+    baseline median is a failure, not a note.  Without it, timing
+    movement stays informational (CI machines are noisy).
     """
     failures: list[str] = []
     notes: list[str] = []
     current = {
         (r["dataset"], r["algorithm"], r["backend"]): r
-        for r in report["records"]
+        for r in report.get("records", [])
         if "median_seconds" in r
     }
     for rec in baseline.get("records", []):
@@ -148,10 +185,10 @@ def compare_against_baseline(report: dict, baseline: dict) -> tuple[list[str], l
         if now is None:
             failures.append(f"{label}: present in baseline, missing from this run")
             continue
-        if now["num_components"] != rec["num_components"]:
+        if now.get("num_components") != rec.get("num_components"):
             failures.append(
-                f"{label}: num_components {rec['num_components']} -> "
-                f"{now['num_components']}"
+                f"{label}: num_components {rec.get('num_components')} -> "
+                f"{now.get('num_components')}"
             )
         if now.get("plan") != rec.get("plan"):
             failures.append(
@@ -159,7 +196,13 @@ def compare_against_baseline(report: dict, baseline: dict) -> tuple[list[str], l
             )
         if rec["median_seconds"] > 0:
             ratio = now["median_seconds"] / rec["median_seconds"]
-            notes.append(f"{label}: {ratio:.2f}x baseline median")
+            if fail_threshold is not None and ratio > fail_threshold:
+                failures.append(
+                    f"{label}: median {ratio:.2f}x baseline "
+                    f"(threshold {fail_threshold:.2f}x)"
+                )
+            else:
+                notes.append(f"{label}: {ratio:.2f}x baseline median")
     new_keys = set(current) - {
         (r["dataset"], r["algorithm"], r["backend"])
         for r in baseline.get("records", [])
@@ -168,6 +211,69 @@ def compare_against_baseline(report: dict, baseline: dict) -> tuple[list[str], l
     for key in sorted(new_keys):
         notes.append("/".join(key) + ": new combination (not in baseline)")
     return failures, notes
+
+
+def gate_summary_markdown(
+    report: dict,
+    baseline: dict,
+    failures: list[str],
+    notes: list[str],
+    *,
+    fail_threshold: float | None = None,
+) -> str:
+    """Markdown perf-gate summary (for ``$GITHUB_STEP_SUMMARY``).
+
+    One row per gated (dataset, algorithm, backend) combination with the
+    baseline/current medians, the ratio, and the round/allocation
+    counters, followed by the verbatim failure and note lines.
+    """
+    baseline_by_key = {
+        (r["dataset"], r["algorithm"], r["backend"]): r
+        for r in baseline.get("records", [])
+        if "median_seconds" in r
+    }
+    lines = ["## Smoke perf gate", ""]
+    verdict = "FAILED" if failures else "passed"
+    threshold = (
+        f"hard threshold {fail_threshold:.2f}x baseline median"
+        if fail_threshold is not None
+        else "timings informational (no --fail-threshold)"
+    )
+    lines.append(f"**{verdict}** — {threshold}.")
+    lines.append("")
+    lines.append(
+        "| dataset | algorithm | backend | baseline ms | current ms "
+        "| ratio | rounds | skipped | alloc bytes |"
+    )
+    lines.append("|---|---|---|---:|---:|---:|---:|---:|---:|")
+    for rec in report.get("records", []):
+        if "median_seconds" not in rec:
+            continue
+        key = (rec["dataset"], rec["algorithm"], rec["backend"])
+        base = baseline_by_key.get(key)
+        base_ms = f"{base['median_seconds'] * 1000:.2f}" if base else "—"
+        ratio = (
+            f"{rec['median_seconds'] / base['median_seconds']:.2f}x"
+            if base and base["median_seconds"] > 0
+            else "—"
+        )
+        lines.append(
+            f"| {key[0]} | {key[1]} | {key[2]} "
+            f"| {base_ms} | {rec['median_seconds'] * 1000:.2f} | {ratio} "
+            f"| {rec.get('iterations', '—')} "
+            f"| {rec.get('rounds_skipped', '—')} "
+            f"| {rec.get('bytes_allocated', '—')} |"
+        )
+    if failures:
+        lines.append("")
+        lines.append("### Regressions")
+        lines.extend(f"- `{line}`" for line in failures)
+    if notes:
+        lines.append("")
+        lines.append("### Notes")
+        lines.extend(f"- {line}" for line in notes)
+    lines.append("")
+    return "\n".join(lines)
 
 
 def export_smoke_trace(path: str, *, format: str = "chrome", workers: int = 2) -> None:
@@ -205,19 +311,61 @@ def _last_labels(graph: CSRGraph, algorithm: str, backend) -> np.ndarray:
     return engine.run(algorithm, graph, backend=backend).labels
 
 
+def _load_json(path: str, role: str) -> dict | None:
+    """Load a report/baseline JSON file; ``None`` (plus a clear stderr
+    message) when the file is missing or unparsable — the perf gate must
+    fail with a diagnosis, never a traceback."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        print(f"error: {role} file not found: {path}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"error: {role} file {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"error: {role} file {path} is not a JSON report object",
+              file=sys.stderr)
+        return None
+    return data
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code (non-zero on
-    oracle disagreement)."""
+    oracle disagreement or a failed baseline gate)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.smoke",
-        description="oracle-checked CI smoke benchmark",
+        description="oracle-checked CI smoke benchmark and perf gate",
     )
     parser.add_argument("--output", help="write the JSON report to this path")
     parser.add_argument(
         "--baseline",
         help="compare against this committed report (e.g. BENCH_smoke.json): "
-        "component counts and auto's plan choice gate, timings are "
+        "component counts and auto's plan choice always gate; timings "
+        "gate too when --fail-threshold is set",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail when a record's median exceeds RATIO times its baseline "
+        "median (e.g. 1.25 = >25%% slowdown); omit to keep timings "
         "informational",
+    )
+    parser.add_argument(
+        "--gate-report",
+        metavar="PATH",
+        help="gate a previously written report (skips re-running the "
+        "benchmarks; requires --baseline)",
+    )
+    parser.add_argument(
+        "--summary-out",
+        metavar="PATH",
+        help="append a markdown comparison summary to this file "
+        "(point at $GITHUB_STEP_SUMMARY in CI)",
     )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
@@ -239,23 +387,44 @@ def main(argv: list[str] | None = None) -> int:
         help="trace file format (default: chrome, Perfetto-loadable)",
     )
     args = parser.parse_args(argv)
-    report, failures = run_smoke(
-        repeats=args.repeats, workers=args.workers, scaling=args.scaling
-    )
+    if args.gate_report:
+        if not args.baseline:
+            print("error: --gate-report requires --baseline", file=sys.stderr)
+            return 2
+        loaded = _load_json(args.gate_report, "report")
+        if loaded is None:
+            return 1
+        report = loaded
+        failures = int(report.get("failures", 0))
+    else:
+        report, failures = run_smoke(
+            repeats=args.repeats, workers=args.workers, scaling=args.scaling
+        )
     if args.baseline:
-        with open(args.baseline, encoding="utf-8") as fh:
-            baseline = json.load(fh)
-        regressions, notes = compare_against_baseline(report, baseline)
+        baseline = _load_json(args.baseline, "baseline")
+        if baseline is None:
+            return 1
+        regressions, notes = compare_against_baseline(
+            report, baseline, fail_threshold=args.fail_threshold
+        )
         for note in notes:
             print(f"baseline: {note}")
         for line in regressions:
             print(f"error: baseline regression: {line}", file=sys.stderr)
+        if args.summary_out:
+            summary = gate_summary_markdown(
+                report, baseline, regressions, notes,
+                fail_threshold=args.fail_threshold,
+            )
+            with open(args.summary_out, "a", encoding="utf-8") as fh:
+                fh.write(summary)
+            print(f"markdown summary appended to {args.summary_out}")
         failures += len(regressions)
-    if args.output:
+    if args.output and not args.gate_report:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
         print(f"report written to {args.output}")
-    if args.trace_out:
+    if args.trace_out and not args.gate_report:
         export_smoke_trace(
             args.trace_out, format=args.trace_format, workers=args.workers
         )

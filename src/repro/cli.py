@@ -35,6 +35,7 @@ import time
 import numpy as np
 
 import repro
+from repro.constants import LABEL_DTYPE_POLICIES
 from repro.engine import (
     CANONICAL_PLANS,
     available_algorithms,
@@ -115,7 +116,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{args.backend!r} backend; supported: {list(spec.backends)}"
         )
     graph = _resolve_graph(args.graph, args.seed)
-    backend = make_backend(args.backend, workers=args.workers)
+    backend = make_backend(
+        args.backend, workers=args.workers,
+        label_dtype=getattr(args, "label_dtype", "auto"),
+    )
     try:
         t0 = time.perf_counter()
         result = repro.engine.run(
@@ -260,7 +264,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print("error: no requested algorithm supports the backend", file=sys.stderr)
         return 1
     graph = _resolve_graph(args.graph, args.seed)
-    backend = make_backend(args.backend, workers=args.workers)
+    backend = make_backend(
+        args.backend, workers=args.workers,
+        label_dtype=getattr(args, "label_dtype", "auto"),
+    )
     try:
         records = [
             run_algorithm(
@@ -401,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="worker count for the simulated/process backends "
             "(default: one per core, capped at 8)",
+        )
+        p.add_argument(
+            "--label-dtype",
+            choices=LABEL_DTYPE_POLICIES,
+            default="auto",
+            help="parent-array width policy: auto narrows to int32 when "
+            "the graph fits (results are identical; wide forces int64)",
         )
 
     def add_trace_args(p: argparse.ArgumentParser) -> None:

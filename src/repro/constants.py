@@ -14,6 +14,22 @@ import numpy as np
 #: dtype used for vertex identifiers, CSR indices and parent (pi) arrays.
 VERTEX_DTYPE = np.int64
 
+#: Narrow dtype used for parent (pi) arrays when the vertex count permits:
+#: halving the label width halves the hot loops' memory traffic, and labels
+#: are widened back to VERTEX_DTYPE before results escape the engine.
+NARROW_VERTEX_DTYPE = np.int32
+
+#: Largest vertex count eligible for NARROW_VERTEX_DTYPE labels.  The BFS
+#: pipelines store the out-of-range sentinel ``n`` in the parent array, so
+#: ``n`` itself (not just ``n - 1``) must be representable.
+NARROW_LABEL_LIMIT = 2**31 - 1
+
+#: Label-width policies accepted by ``ExecutionBackend(label_dtype=...)``:
+#: ``auto`` narrows to NARROW_VERTEX_DTYPE whenever the graph fits (falling
+#: back to VERTEX_DTYPE above NARROW_LABEL_LIMIT), ``wide`` always uses
+#: VERTEX_DTYPE.
+LABEL_DTYPE_POLICIES = ("auto", "wide")
+
 #: dtype used for per-vertex/edge counters collected by instrumented kernels.
 COUNTER_DTYPE = np.int64
 

@@ -41,6 +41,7 @@ Adding an algorithm::
 
 from __future__ import annotations
 
+from repro.constants import VERTEX_DTYPE
 from repro.engine.backends import (
     ExecutionBackend,
     ProcessParallelBackend,
@@ -48,6 +49,7 @@ from repro.engine.backends import (
     VectorizedBackend,
     backend_kinds,
     make_backend,
+    resolve_label_dtype,
 )
 from repro.engine.instrumentation import Instrumentation
 from repro.engine.partition import EdgeBlock, partition_csr_blocks
@@ -108,6 +110,7 @@ __all__ = [
     "ProcessParallelBackend",
     "backend_kinds",
     "make_backend",
+    "resolve_label_dtype",
     "EdgeBlock",
     "partition_csr_blocks",
     "support_matrix_markdown",
@@ -205,6 +208,11 @@ def run(
             backend.bind(Instrumentation(False))
         # Shared-memory labels must outlive the backend's segments.
         result.labels = backend.detach_labels(result.labels)
+        if result.labels.dtype != VERTEX_DTYPE:
+            # Backends may run on narrowed labels (label_dtype policy);
+            # results always leave the engine at the canonical width, so
+            # the visible labeling is bit-identical either way.
+            result.labels = result.labels.astype(VERTEX_DTYPE)
     finally:
         if owned:
             backend.close()

@@ -35,12 +35,16 @@ import numpy as np
 from repro.constants import (
     ITERATION_CAP_FACTOR,
     ITERATION_CAP_SLACK,
+    LABEL_DTYPE_POLICIES,
+    NARROW_LABEL_LIMIT,
+    NARROW_VERTEX_DTYPE,
     VERTEX_DTYPE,
 )
-from repro.core.compress import compress_all, compress_kernel
+from repro.core.compress import compress_kernel
 from repro.core.link import link_batch, link_kernel
 from repro.core.sampling import approximate_largest_label
 from repro.engine import partition as _part
+from repro.engine.bufferpool import BufferPool
 from repro.engine.instrumentation import Instrumentation
 from repro.engine.partition import (
     SharedVector,
@@ -57,12 +61,40 @@ from repro.parallel.metrics import RunStats
 
 __all__ = [
     "ExecutionBackend",
+    "HOOKING_MODES",
     "VectorizedBackend",
     "SimulatedBackend",
     "ProcessParallelBackend",
     "backend_kinds",
     "make_backend",
+    "resolve_label_dtype",
 ]
+
+#: hooking variants accepted by :meth:`ExecutionBackend.fused_hook_jump`
+#: (and the ``fastsv`` finish's ``hooking=`` plan parameter).
+HOOKING_MODES = ("plain", "stochastic", "aggressive")
+
+
+def resolve_label_dtype(n: int, policy: str = "auto") -> np.dtype:
+    """The parent-array dtype for an ``n``-vertex run under ``policy``.
+
+    ``auto`` narrows to :data:`~repro.constants.NARROW_VERTEX_DTYPE`
+    whenever every storable value fits — vertex ids up to ``n - 1`` *and*
+    the BFS pipelines' out-of-range sentinel ``n`` — and falls back to
+    :data:`~repro.constants.VERTEX_DTYPE` above
+    :data:`~repro.constants.NARROW_LABEL_LIMIT` (the overflow guard).
+    ``wide`` always selects ``VERTEX_DTYPE``.  Narrowed labels never
+    escape the engine: ``engine.run`` widens results back to
+    ``VERTEX_DTYPE``, so the visible labeling is bit-identical.
+    """
+    if policy not in LABEL_DTYPE_POLICIES:
+        raise ConfigurationError(
+            f"unknown label dtype policy {policy!r}; "
+            f"available: {list(LABEL_DTYPE_POLICIES)}"
+        )
+    if policy == "auto" and n <= NARROW_LABEL_LIMIT:
+        return np.dtype(NARROW_VERTEX_DTYPE)
+    return np.dtype(VERTEX_DTYPE)
 
 
 # --------------------------------------------------------------------- #
@@ -307,8 +339,18 @@ class ExecutionBackend:
     #: registry-facing backend kind ("vectorized" / "simulated").
     kind = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, *, label_dtype: str = "auto") -> None:
+        if label_dtype not in LABEL_DTYPE_POLICIES:
+            raise ConfigurationError(
+                f"unknown label dtype policy {label_dtype!r}; "
+                f"available: {list(LABEL_DTYPE_POLICIES)}"
+            )
         self.instr = Instrumentation(False)
+        #: label-width policy (see :func:`resolve_label_dtype`).
+        self.label_dtype = label_dtype
+        #: reusable scratch buffers for the hot-path kernels; fresh
+        #: allocations land in the ``bytes_allocated`` counter.
+        self.pool = BufferPool(self._count_alloc)
         # Identity-cached flat edge arrays of the last graph seen by
         # propagate_pass (LP sweeps reuse one batch across all rounds).
         self._edge_graph: CSRGraph | None = None
@@ -317,6 +359,21 @@ class ExecutionBackend:
     def bind(self, instr: Instrumentation) -> None:
         """Attach the per-run instrumentation (done by ``engine.run``)."""
         self.instr = instr
+
+    def _count_alloc(self, nbytes: int) -> None:
+        """Buffer-pool allocation callback -> ``bytes_allocated`` counter."""
+        self.instr.count("bytes_allocated", int(nbytes))
+
+    def _label_dtype(self, n: int) -> np.dtype:
+        """Resolve (and record) the parent-array dtype for an ``n``-vertex
+        run: the ``label_dtype_bits`` gauge makes the narrowing decision
+        visible in profiled runs."""
+        dtype = resolve_label_dtype(n, self.label_dtype)
+        if self.instr.metrics.enabled:
+            self.instr.metrics.gauge("label_dtype_bits").set(
+                dtype.itemsize * 8
+            )
+        return dtype
 
     def _edges(self, graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
         """The graph's flat ``(src, dst)`` directed-edge arrays, cached."""
@@ -398,6 +455,44 @@ class ExecutionBackend:
         no change performed no writes on any substrate).
         """
         raise NotImplementedError
+
+    def fused_hook_jump(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        *,
+        hooking: str = "plain",
+        phase: str,
+    ) -> int:
+        """One fused FastSV round: min-label hook sweep + pointer jump.
+
+        Returns the hook sweep's change count.  When the sweep reports no
+        change the trailing jump is *skipped* (counted as
+        ``rounds_skipped``): a zero-change sweep performs no writes on any
+        substrate, and a propagation fixpoint over a symmetric edge set
+        means every component carries a constant label — necessarily its
+        minimum vertex id — so π is already flat and ``π ← π[π]`` would be
+        the identity.  Each fused round bumps ``fused_passes``.
+
+        ``hooking`` selects the FastSV hooking variant: ``plain`` is the
+        classic source→destination min-sweep; ``stochastic`` additionally
+        hooks each edge's *parent-of-destination* to the source's
+        grandparent label; ``aggressive`` hooks the destination itself to
+        the grandparent label.  All variants write only monotone minima of
+        component-internal labels, so they converge to the same component
+        minima as ``plain``.  The base implementation composes the two
+        timed primitives and runs the ``plain`` sweep regardless of the
+        requested variant (the extra hooks are a vectorized-substrate
+        acceleration, not a semantic change); the vectorized backend
+        overrides this with a single-kernel fused implementation.
+        """
+        changed = self.propagate_pass(pi, graph, phase=phase)
+        if changed:
+            self.shortcut_step(pi, phase=phase)
+        else:
+            self.instr.count("rounds_skipped")
+        self.instr.count("fused_passes")
+        return changed
 
     def frontier_expand(
         self,
@@ -489,9 +584,10 @@ class VectorizedBackend(ExecutionBackend):
     ) -> np.ndarray:
         """Identity (or constant-``fill``) parent array; not a timed
         phase — a single ``arange``/``full``."""
+        dtype = self._label_dtype(n)
         if fill is not None:
-            return np.full(n, fill, dtype=VERTEX_DTYPE)
-        return np.arange(n, dtype=VERTEX_DTYPE)
+            return np.full(n, fill, dtype=dtype)
+        return np.arange(n, dtype=dtype)
 
     def link_edges(
         self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
@@ -536,15 +632,43 @@ class VectorizedBackend(ExecutionBackend):
             rounds = link_batch(pi, src, dst)
         return int(src.shape[0]), skipped, rounds
 
+    def _pointer_jump(self, pi: np.ndarray) -> np.ndarray:
+        """One ``π ← π[π]`` jump through the pooled scratch buffer.
+
+        Returns the scratch view still holding the post-jump values (so
+        ``compress`` can fixpoint-test without another gather).
+        """
+        nxt = self.pool.get("jump", int(pi.shape[0]), pi.dtype)
+        np.take(pi, pi, out=nxt)
+        pi[:] = nxt
+        return nxt
+
     def compress(self, pi: np.ndarray, *, phase: str) -> int:
-        """Pointer-doubling compression; returns the pass count."""
+        """Pointer-doubling compression; returns the pass count.
+
+        Identical to :func:`~repro.core.compress.compress_all`, but the
+        per-pass ``π[π]`` gather goes through the pooled scratch buffer
+        instead of allocating ``O(n)`` fresh memory every pass.
+        """
         with self.instr.timer(phase):
-            return compress_all(pi)
+            passes = 0
+            cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+            nxt = self.pool.get("jump", int(pi.shape[0]), pi.dtype)
+            while True:
+                np.take(pi, pi, out=nxt)
+                if np.array_equal(nxt, pi):
+                    return passes
+                pi[:] = nxt
+                passes += 1
+                if passes > cap:
+                    raise ConvergenceError(
+                        f"compress_all exceeded {cap} passes — cycle in pi?"
+                    )
 
     def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
         """The original SV single shortcut: ``pi <- pi[pi]`` once."""
         with self.instr.timer(phase):
-            pi[:] = pi[pi]
+            self._pointer_jump(pi)
 
     def find_largest(
         self,
@@ -568,10 +692,17 @@ class VectorizedBackend(ExecutionBackend):
         (Fig. 1 commentary), biased to the smallest label exactly like the
         CAS variant.
         """
+        pool = self.pool
         with self.instr.timer(phase):
-            cu = pi[src]
-            cv = pi[dst]
-            mask = (cu < cv) & (pi[cv] == cv)
+            m = int(src.shape[0])
+            cu = pool.take(pi, src, "hook-cu")
+            cv = pool.take(pi, dst, "hook-cv")
+            pcv = pool.take(pi, cv, "hook-pcv")
+            mask = pool.get("hook-mask", m, np.bool_)
+            np.less(cu, cv, out=mask)
+            root = pool.get("hook-root", m, np.bool_)
+            np.equal(pcv, cv, out=root)
+            mask &= root
             if not mask.any():
                 return False
             if self.instr.metrics.enabled:
@@ -591,16 +722,87 @@ class VectorizedBackend(ExecutionBackend):
         The masked form writes only winning candidates; since labels only
         decrease within a pass, a candidate that did not beat the
         pre-pass destination can never win inside the same ``at`` call,
-        so the final π is identical to the unmasked sweep.
+        so the final π is identical to the unmasked sweep.  All edge-sized
+        gathers go through the buffer pool, so repeated sweeps allocate
+        nothing.
         """
         src, dst = self._edges(graph)
         with self.instr.timer(phase):
-            cand = pi[src]
-            won = cand < pi[dst]
-            if not won.any():
-                return 0
+            return self._min_sweep(pi, src, dst)
+
+    def _min_sweep(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray
+    ) -> int:
+        """Pooled masked scatter-min of ``pi[src]`` into ``pi[dst]``;
+        returns the win count (no timer: callers wrap it)."""
+        pool = self.pool
+        m = int(src.shape[0])
+        cand = pool.take(pi, src, "prop-cand")
+        down = pool.take(pi, dst, "prop-down")
+        won = pool.get("prop-won", m, np.bool_)
+        np.less(cand, down, out=won)
+        changed = int(np.count_nonzero(won))
+        if changed:
             np.minimum.at(pi, dst[won], cand[won])
-            return int(won.sum())
+        return changed
+
+    def fused_hook_jump(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        *,
+        hooking: str = "plain",
+        phase: str,
+    ) -> int:
+        """Single-kernel fused FastSV round (see the base-class contract).
+
+        One timed span covers the hook sweep, the optional
+        stochastic/aggressive grandparent hooks, and the pointer jump; the
+        jump is skipped (``rounds_skipped``) when nothing changed, and
+        every edge- or vertex-sized intermediate lives in the buffer pool.
+
+        The extra variants gather each source's *grandparent* label
+        ``π[π[src]]`` after the plain sweep and scatter-min it into the
+        destination's parent (``stochastic``) or the destination itself
+        (``aggressive``).  Both targets only ever receive smaller labels
+        from their own component (``π[π[u]] ≤ π[u] ≤ u`` and labels are
+        component-internal), so the converged fixpoint — every component
+        flat at its minimum id — is unchanged; the variants only shorten
+        the path there on high-diameter graphs.
+        """
+        src, dst = self._edges(graph)
+        pool = self.pool
+        with self.instr.timer(phase):
+            changed = self._min_sweep(pi, src, dst)
+            if changed and hooking != "plain":
+                # Grandparent candidates, read *after* the plain sweep so
+                # freshly lowered parents propagate within the round.
+                parent = pool.take(pi, src, "fuse-parent")
+                grand = pool.take(pi, parent, "fuse-grand")
+                if hooking == "aggressive":
+                    changed += self._scatter_min(pi, dst, grand)
+                else:  # stochastic: hook the destination's parent
+                    target = pool.take(pi, dst, "fuse-target")
+                    changed += self._scatter_min(pi, target, grand)
+            if changed:
+                self._pointer_jump(pi)
+            else:
+                self.instr.count("rounds_skipped")
+            self.instr.count("fused_passes")
+            return changed
+
+    def _scatter_min(
+        self, pi: np.ndarray, target: np.ndarray, cand: np.ndarray
+    ) -> int:
+        """Masked ``pi[target] min= cand`` via pooled buffers; win count."""
+        pool = self.pool
+        cur = pool.take(pi, target, "fuse-cur")
+        won = pool.get("fuse-won", int(target.shape[0]), np.bool_)
+        np.less(cand, cur, out=won)
+        wins = int(np.count_nonzero(won))
+        if wins:
+            np.minimum.at(pi, target[won], cand[won])
+        return wins
 
     def frontier_expand(
         self,
@@ -666,8 +868,10 @@ class SimulatedBackend(ExecutionBackend):
 
     kind = "simulated"
 
-    def __init__(self, machine: SimulatedMachine) -> None:
-        super().__init__()
+    def __init__(
+        self, machine: SimulatedMachine, *, label_dtype: str = "auto"
+    ) -> None:
+        super().__init__(label_dtype=label_dtype)
         self.machine = machine
 
     def init_labels(
@@ -675,7 +879,7 @@ class SimulatedBackend(ExecutionBackend):
     ) -> np.ndarray:
         """Init phase ``I``: every vertex writes its own π slot (or the
         constant ``fill`` sentinel)."""
-        pi = np.empty(n, dtype=VERTEX_DTYPE)
+        pi = np.empty(n, dtype=self._label_dtype(n))
         with self.instr.timer(phase):
             if fill is not None:
                 self.machine.parallel_for(
@@ -903,8 +1107,9 @@ class ProcessParallelBackend(ExecutionBackend):
         workers: int | None = None,
         *,
         start_method: str | None = None,
+        label_dtype: str = "auto",
     ) -> None:
-        super().__init__()
+        super().__init__(label_dtype=label_dtype)
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers or max(1, min(os.cpu_count() or 1, 8))
@@ -1051,14 +1256,22 @@ class ProcessParallelBackend(ExecutionBackend):
     def init_labels(
         self, n: int, *, phase: str = "I", fill: int | None = None
     ) -> np.ndarray:
-        """Fresh shared-memory identity (or constant-``fill``) array."""
+        """Fresh shared-memory identity (or constant-``fill``) array.
+
+        The segment is created at the resolved label width — workers
+        attach through the spec's dtype string, so a narrowed π narrows
+        the whole cross-process hot path.  Segment creation is a real
+        allocation, so it lands in ``bytes_allocated``.
+        """
+        dtype = self._label_dtype(n)
         self._release(self._pi)
-        self._pi = SharedVector(n)
+        self._pi = SharedVector(n, dtype=dtype)
+        self._count_alloc(self._pi.array.nbytes)
         pi = self._pi.array
         if fill is not None:
             pi[:] = fill
         else:
-            pi[:] = np.arange(n, dtype=VERTEX_DTYPE)
+            pi[:] = np.arange(n, dtype=dtype)
         return pi
 
     def _pi_spec(self, pi: np.ndarray):
@@ -1416,20 +1629,23 @@ def backend_kinds() -> tuple[str, ...]:
 
 
 def make_backend(
-    kind: str, *, workers: int | None = None
+    kind: str, *, workers: int | None = None, label_dtype: str = "auto"
 ) -> ExecutionBackend:
     """Construct a backend from its registry kind.
 
     ``workers`` selects the worker count for the parallel substrates
     (simulated machine workers / OS processes); the vectorized backend
-    ignores it.
+    ignores it.  ``label_dtype`` selects the parent-array width policy
+    (see :func:`resolve_label_dtype`).
     """
     if kind == "vectorized":
-        return VectorizedBackend()
+        return VectorizedBackend(label_dtype=label_dtype)
     if kind == "simulated":
-        return SimulatedBackend(SimulatedMachine(workers or 4))
+        return SimulatedBackend(
+            SimulatedMachine(workers or 4), label_dtype=label_dtype
+        )
     if kind == "process":
-        return ProcessParallelBackend(workers=workers)
+        return ProcessParallelBackend(workers=workers, label_dtype=label_dtype)
     raise ConfigurationError(
         f"unknown backend kind {kind!r}; available: {list(BACKEND_KINDS)}"
     )

@@ -23,7 +23,7 @@ from repro.constants import (
     ITERATION_CAP_SLACK,
     VERTEX_DTYPE,
 )
-from repro.engine.backends import ExecutionBackend
+from repro.engine.backends import HOOKING_MODES, ExecutionBackend
 from repro.engine.phase import FinishSpec, PlanContext
 from repro.engine.result import CCResult
 from repro.errors import ConfigurationError, ConvergenceError
@@ -69,7 +69,16 @@ def _hook_loop(
             result.max_tree_depth = max(result.max_tree_depth, d)
         shortcut_phase = phase_label("S", round=iterations)
         if shortcut == "full":
-            backend.compress(pi, phase=shortcut_phase)
+            if changed or iterations == 1:
+                backend.compress(pi, phase=shortcut_phase)
+            else:
+                # A hook pass reporting no change performed no writes on
+                # any substrate, and the previous iteration ended with a
+                # full compress — π is still flat, so the trailing
+                # compress would be the identity.  (The first iteration
+                # must still compress: sampling phases can hand the loop
+                # deep trees that no hook ever touches.)
+                backend.instr.count("rounds_skipped")
         else:
             # The original formulation's single shortcut step per
             # iteration: pi <- pi[pi] once.  Trees shrink gradually and
@@ -112,18 +121,34 @@ def sv_finish(
     )
 
 
-def fastsv_finish(ctx: PlanContext) -> None:
-    """FastSV-style finish: scatter-min label sweep + one pointer jump per
-    iteration (phases ``H<i>`` / ``S<i>``), until a sweep changes nothing.
+def _validate_fastsv(*, hooking: str = "plain") -> None:
+    if hooking not in HOOKING_MODES:
+        raise ConfigurationError(
+            f"hooking must be one of {list(HOOKING_MODES)}, got {hooking!r}"
+        )
 
-    The sweep (``propagate_pass``) hooks aggressively — every edge lowers
-    its endpoint's label to the neighbour's, no root check — and the
-    ``shortcut_step`` pointer jump (``π ← π[π]``) halves chain lengths,
-    so convergence needs far fewer rounds than pure label propagation on
-    high-diameter graphs.  All writes are monotone min-writes over
-    component-internal ids, so the converged labeling is the component
+
+def fastsv_finish(ctx: PlanContext, *, hooking: str = "plain") -> None:
+    """FastSV-style finish: fused scatter-min sweep + pointer jump per
+    iteration (phase ``HS<i>``), until a sweep changes nothing.
+
+    Each round is one :meth:`~repro.engine.backends.ExecutionBackend.
+    fused_hook_jump` call: the min-label sweep hooks aggressively — every
+    edge lowers its endpoint's label to the neighbour's, no root check —
+    and the fused pointer jump (``π ← π[π]``) halves chain lengths, so
+    convergence needs far fewer rounds than pure label propagation on
+    high-diameter graphs.  The backend skips the jump on the final
+    no-change round (π is provably flat then — see the primitive's
+    contract), which the ``rounds_skipped`` counter makes visible.
+
+    ``hooking`` selects the hooking variant (``plain`` / ``stochastic`` /
+    ``aggressive``): the extra variants additionally scatter grandparent
+    labels, cutting rounds on high-diameter graphs at the cost of more
+    work per round.  All writes are monotone min-writes over
+    component-internal ids, so every variant converges to the component
     minima, bit-compatible with every other finish.
     """
+    _validate_fastsv(hooking=hooking)
     backend, pi, graph, result = ctx.backend, ctx.pi, ctx.graph, ctx.result
     m = graph.num_directed_edges
     if m == 0:
@@ -134,11 +159,11 @@ def fastsv_finish(ctx: PlanContext) -> None:
         iterations += 1
         if iterations > cap:
             raise ConvergenceError(f"FastSV exceeded {cap} iterations")
-        changed = backend.propagate_pass(
-            pi, graph, phase=phase_label("H", round=iterations)
+        changed = backend.fused_hook_jump(
+            pi, graph, hooking=hooking,
+            phase=phase_label("HS", round=iterations),
         )
         result.edges_processed += m
-        backend.shortcut_step(pi, phase=phase_label("S", round=iterations))
         if not changed:
             break
     result.iterations = iterations
@@ -178,6 +203,9 @@ def sv_pipeline_edges(
         backend, pi, src, dst, result,
         track_depth=track_depth, shortcut=shortcut,
     )
+    if result.labels.dtype != VERTEX_DTYPE:
+        # Narrowed working labels never escape the engine layer.
+        result.labels = result.labels.astype(VERTEX_DTYPE)
     result.run_stats = backend.run_stats()
     return result
 
@@ -196,5 +224,7 @@ FASTSV = FinishSpec(
     name="fastsv",
     fn=fastsv_finish,
     description="FastSV-style scatter-min hooking with per-iteration "
-    "pointer jumping",
+    "pointer jumping (fused rounds; hooking=plain/stochastic/aggressive)",
+    params=("hooking",),
+    validate=_validate_fastsv,
 )

@@ -68,8 +68,18 @@ class TestSmoke:
             for r in report["records"]
             if "backend" in r
         }
-        # Full matrix: 2 graphs x 6 algorithms x 2 backends.
-        assert len(combos) == 24
+        # Full matrix: graphs x algorithms x backends (7 algorithms since
+        # the fused fastsv hot path joined the smoke set).
+        from repro.bench.smoke import (
+            SMOKE_ALGORITHMS,
+            SMOKE_BACKENDS,
+            SMOKE_GRAPHS,
+        )
+
+        assert len(combos) == (
+            len(SMOKE_GRAPHS) * len(SMOKE_ALGORITHMS) * len(SMOKE_BACKENDS)
+        )
+        assert len(SMOKE_ALGORITHMS) == 7
         assert all(r.get("matches_oracle", True) for r in report["records"])
         # Plan provenance: auto's record names the plan the probes chose.
         plans = {

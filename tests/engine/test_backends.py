@@ -109,7 +109,10 @@ class TestProfiling:
         expected = {"total"}
         for i in range(1, result.iterations + 1):
             expected.add(f"H{i}")
-            expected.add(f"S{i}")
+            # The converged final iteration skips its trailing compress
+            # (the hook pass changed nothing, so π is already flat).
+            if i < result.iterations or result.iterations == 1:
+                expected.add(f"S{i}")
         assert labels == expected
 
     def test_total_phase_covers_run(self, mixed_graph):
@@ -161,7 +164,10 @@ class TestSimulatedPhaseStructure:
         assert equivalent_labelings(result.labels, ref)
         phases = [p.label for p in machine.stats.phases]
         assert phases[0] == "I"
-        assert len(phases) == 1 + 2 * result.iterations
+        # Every iteration contributes a hook + compress phase pair except
+        # the converged final one, whose trailing compress is skipped.
+        skipped = 1 if result.iterations > 1 else 0
+        assert len(phases) == 1 + 2 * result.iterations - skipped
 
     def test_simulated_runs_deterministic_per_seed(self, two_cliques):
         a = engine.run(

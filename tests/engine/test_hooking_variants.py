@@ -1,0 +1,92 @@
+"""Stochastic/aggressive hooking variants of the fused FastSV finish.
+
+Both variants add extra monotone min-writes of component-internal labels
+on top of the plain sweep, so they may converge in fewer rounds but must
+always produce the same partition.  They are exposed as the ``hooking``
+plan parameter on the ``fastsv`` finish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.analysis import equivalent_labelings
+from repro.engine import SimulatedBackend, VectorizedBackend, run_plan
+from repro.errors import ConfigurationError
+from repro.generators import kronecker_graph, uniform_random_graph
+from repro.generators.lattice import grid_graph
+from repro.parallel import SimulatedMachine
+from repro.unionfind import sequential_components
+
+HOOKINGS = ("plain", "stochastic", "aggressive")
+
+
+class TestVariantCorrectness:
+    @pytest.mark.parametrize("hooking", HOOKINGS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, random_graph_factory, hooking, seed):
+        g = random_graph_factory(80, 160, seed)
+        r = engine.run("fastsv", g, hooking=hooking)
+        assert equivalent_labelings(r.labels, sequential_components(g))
+
+    @pytest.mark.parametrize("hooking", HOOKINGS)
+    def test_structured_graphs(self, hooking):
+        for g in (grid_graph(12, 12), kronecker_graph(7, edge_factor=6, seed=2)):
+            r = engine.run("fastsv", g, hooking=hooking)
+            assert equivalent_labelings(r.labels, sequential_components(g))
+
+    def test_variants_agree_bitwise(self):
+        # Same final labeling, not merely the same partition: every hook
+        # writes min labels, so the fixpoint is the component-minimum
+        # labeling for all three variants.
+        g = uniform_random_graph(500, edge_factor=5, seed=9)
+        labelings = [
+            engine.run("fastsv", g, hooking=h).labels for h in HOOKINGS
+        ]
+        assert np.array_equal(labelings[0], labelings[1])
+        assert np.array_equal(labelings[0], labelings[2])
+
+    def test_aggressive_never_more_rounds_on_lattice(self):
+        # The documented payoff: grandparent hooks shorten chains on
+        # high-diameter graphs, cutting rounds.
+        g = grid_graph(40, 40)
+        plain = engine.run("fastsv", g, hooking="plain")
+        aggressive = engine.run("fastsv", g, hooking="aggressive")
+        assert aggressive.iterations <= plain.iterations
+
+    @pytest.mark.parametrize("hooking", ["stochastic", "aggressive"])
+    def test_simulated_backend_degrades_to_plain(self, hooking, mixed_graph):
+        # Non-vectorized substrates run the plain sweep but must still
+        # accept the parameter and converge to the right partition.
+        backend = SimulatedBackend(SimulatedMachine(2, seed=3))
+        r = engine.run("fastsv", mixed_graph, backend=backend, hooking=hooking)
+        assert equivalent_labelings(
+            r.labels, sequential_components(mixed_graph)
+        )
+
+
+class TestPlanParameterRouting:
+    def test_plan_routes_hooking_param(self, mixed_graph):
+        r = engine.run("none+fastsv", mixed_graph, hooking="aggressive")
+        assert r.params["hooking"] == "aggressive"
+        assert equivalent_labelings(
+            r.labels, sequential_components(mixed_graph)
+        )
+
+    def test_run_plan_accepts_hooking(self, mixed_graph):
+        r = run_plan(
+            "kout+fastsv",
+            mixed_graph,
+            VectorizedBackend(),
+            hooking="stochastic",
+        )
+        assert r.plan == "kout+fastsv"
+        assert equivalent_labelings(
+            r.labels, sequential_components(mixed_graph)
+        )
+
+    def test_unknown_hooking_rejected(self, mixed_graph):
+        with pytest.raises(ConfigurationError, match="hooking"):
+            engine.run("fastsv", mixed_graph, hooking="bold")
