@@ -18,6 +18,7 @@ from repro import engine
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.obs import Trace
+from repro.obs.ledger import RunLedger, record_from_result, resolve_ledger
 
 
 @dataclass
@@ -89,6 +90,7 @@ def run_algorithm(
     *,
     repeats: int = 16,
     scaling_workers: Sequence[int] | None = None,
+    ledger: RunLedger | str | None = None,
     **kwargs,
 ) -> BenchmarkRecord:
     """Benchmark one algorithm on one graph with the paper's protocol.
@@ -98,6 +100,13 @@ def run_algorithm(
     ``BenchmarkRecord.extra`` (component count, edge-work counters, and
     ``phase_seconds`` — the per-phase wall-time breakdown printed by
     ``python -m repro compare --profile``).
+
+    With ``ledger`` set (a :class:`~repro.obs.ledger.RunLedger` or a
+    path), one ``kind="bench"`` run record is appended per call: the
+    median wall time over all samples next to the profiled sample's
+    phase breakdown, counters, gauges, and histogram summaries.  The
+    record's run id lands in ``extra["run_id"]`` so reports can point
+    back at the ledger entry.
 
     ``scaling_workers`` additionally measures the process backend at each
     given worker count (e.g. ``(1, 2, 4, 8)``) and records the strong-
@@ -150,6 +159,23 @@ def run_algorithm(
     workers = getattr(backend_obj, "workers", None)
     if workers is None:
         workers = kwargs.get("workers")
+    book = resolve_ledger(ledger) if ledger is not None else None
+    if book is not None:
+        run_record = record_from_result(
+            first,
+            graph=graph,
+            kind="bench",
+            seconds=med,
+            meta={
+                "dataset": dataset,
+                "samples": len(samples),
+                "repeats": repeats,
+            },
+        )
+        if run_record.workers is None:
+            run_record.workers = workers
+        book.append(run_record)
+        extra["run_id"] = run_record.run_id
     return BenchmarkRecord(
         dataset=dataset,
         algorithm=algorithm,

@@ -15,10 +15,15 @@ Against a committed baseline (``--baseline BENCH_smoke.json``) the run
 always gates on *semantic* drift — vanished combinations, component-count
 changes, plan-provenance changes.  With ``--fail-threshold`` it becomes a
 hard **perf gate**: any record whose median slows down beyond the
-threshold ratio fails the run.  ``--gate-report`` re-gates a previously
-written report without re-running the benchmarks (CI splits measure and
-gate into separate steps), and ``--summary-out`` appends a markdown
-comparison table (pointed at ``$GITHUB_STEP_SUMMARY`` in CI).
+threshold ratio fails the run, with a trace-diff attribution clause
+(``+38% in HS3, rounds_skipped 4→0``) naming what moved.
+``--gate-report`` re-gates a previously written report without
+re-running the benchmarks (CI splits measure and gate into separate
+steps), ``--summary-out`` appends a markdown comparison table plus the
+regression-attribution table (pointed at ``$GITHUB_STEP_SUMMARY`` in
+CI), and ``--ledger`` additionally appends one
+:class:`~repro.obs.ledger.RunRecord` per measured combination to a
+JSONL run ledger for ``repro obs diff``.
 """
 
 from __future__ import annotations
@@ -36,7 +41,13 @@ from repro.engine import make_backend
 from repro.generators.lattice import grid_graph
 from repro.generators.powerlaw import barabasi_albert_graph
 from repro.graph.csr import CSRGraph
-from repro.obs import TRACE_FORMATS, write_trace
+from repro.obs import (
+    TRACE_FORMATS,
+    RunDiff,
+    attribution_markdown,
+    diff_runs,
+    write_trace,
+)
 from repro.unionfind.sequential import sequential_components
 
 #: (dataset name, builder) pairs — small enough for a sub-minute CI job
@@ -79,8 +90,16 @@ def run_smoke(
     repeats: int = 5,
     workers: int = 2,
     scaling: bool = False,
+    ledger: str | None = None,
 ) -> tuple[dict, int]:
-    """Execute the smoke matrix; returns ``(report, num_failures)``."""
+    """Execute the smoke matrix; returns ``(report, num_failures)``.
+
+    With ``ledger`` set, every measured combination also appends a
+    ``kind="bench"`` run record to that JSONL ledger (via
+    :mod:`repro.obs.ledger`), and each report record carries the ledger
+    entry's ``run_id`` — the handle ``repro obs diff`` uses to attribute
+    a gate failure to the phases and counters that moved.
+    """
     records: list[dict] = []
     failures = 0
     for dataset, build in SMOKE_GRAPHS:
@@ -97,6 +116,7 @@ def run_smoke(
                         dataset,
                         repeats=repeats,
                         backend=backend,
+                        ledger=ledger,
                     )
                     labels = _last_labels(graph, algorithm, backend)
                 finally:
@@ -115,10 +135,19 @@ def run_smoke(
                     record["plan"] = rec.extra["plan"]
                 if "iterations" in rec.extra:
                     record["iterations"] = rec.extra["iterations"]
+                if "run_id" in rec.extra:
+                    record["run_id"] = rec.extra["run_id"]
                 counters = rec.extra.get("counters", {})
                 for name in COUNTER_COLUMNS:
                     if name in counters:
                         record[name] = counters[name]
+                # The full profiled-sample observables ride along so the
+                # gate can attribute a slowdown (diff_runs reads these)
+                # without chasing the ledger entry.
+                if counters:
+                    record["counters"] = dict(counters)
+                if "phase_seconds" in rec.extra:
+                    record["phase_seconds"] = dict(rec.extra["phase_seconds"])
                 records.append(record)
                 status = "ok" if ok else "ORACLE MISMATCH"
                 rounds = record.get("iterations", "-")
@@ -166,8 +195,12 @@ def compare_against_baseline(
 
     With ``fail_threshold`` set (e.g. ``1.25``), timing becomes a hard
     gate too: a record whose median exceeds ``fail_threshold`` times its
-    baseline median is a failure, not a note.  Without it, timing
-    movement stays informational (CI machines are noisy).
+    baseline median is a failure, not a note.  A timing failure carries
+    its attribution clause (:func:`repro.obs.diff.diff_runs` over the
+    records' profiled phase/counter observables), so the CI log names
+    the phase that slowed down, not just the ratio.  Without the
+    threshold, timing movement stays informational (CI machines are
+    noisy).
     """
     failures: list[str] = []
     notes: list[str] = []
@@ -197,9 +230,11 @@ def compare_against_baseline(
         if rec["median_seconds"] > 0:
             ratio = now["median_seconds"] / rec["median_seconds"]
             if fail_threshold is not None and ratio > fail_threshold:
+                diff = diff_runs(rec, now, label_a=label, label_b=label)
                 failures.append(
                     f"{label}: median {ratio:.2f}x baseline "
-                    f"(threshold {fail_threshold:.2f}x)"
+                    f"(threshold {fail_threshold:.2f}x) — "
+                    f"{diff.attribution()}"
                 )
             else:
                 notes.append(f"{label}: {ratio:.2f}x baseline median")
@@ -225,7 +260,9 @@ def gate_summary_markdown(
 
     One row per gated (dataset, algorithm, backend) combination with the
     baseline/current medians, the ratio, and the round/allocation
-    counters, followed by the verbatim failure and note lines.
+    counters, followed by a regression-attribution table
+    (:func:`repro.obs.diff.attribution_markdown` over every comparable
+    pair, slowest ratio first) and the verbatim failure and note lines.
     """
     baseline_by_key = {
         (r["dataset"], r["algorithm"], r["backend"]): r
@@ -264,6 +301,18 @@ def gate_summary_markdown(
             f"| {rec.get('rounds_skipped', '—')} "
             f"| {rec.get('bytes_allocated', '—')} |"
         )
+    pairs: list[tuple[str, RunDiff]] = []
+    for rec in report.get("records", []):
+        if "median_seconds" not in rec:
+            continue
+        key = (rec["dataset"], rec["algorithm"], rec["backend"])
+        base = baseline_by_key.get(key)
+        if base is None:
+            continue
+        name = "/".join(key)
+        pairs.append((name, diff_runs(base, rec, label_a=name, label_b=name)))
+    lines.append("")
+    lines.append(attribution_markdown(pairs))
     if failures:
         lines.append("")
         lines.append("### Regressions")
@@ -367,6 +416,12 @@ def main(argv: list[str] | None = None) -> int:
         help="append a markdown comparison summary to this file "
         "(point at $GITHUB_STEP_SUMMARY in CI)",
     )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append one kind=\"bench\" run record per measured "
+        "combination to this JSONL ledger (repro obs diff reads it)",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
         "--workers", type=int, default=2, help="process-backend worker count"
@@ -398,7 +453,10 @@ def main(argv: list[str] | None = None) -> int:
         failures = int(report.get("failures", 0))
     else:
         report, failures = run_smoke(
-            repeats=args.repeats, workers=args.workers, scaling=args.scaling
+            repeats=args.repeats,
+            workers=args.workers,
+            scaling=args.scaling,
+            ledger=args.ledger,
         )
     if args.baseline:
         baseline = _load_json(args.baseline, "baseline")

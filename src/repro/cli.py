@@ -10,6 +10,10 @@ Commands
 ``plans``     list the sampling × finish plan space (``--check`` validates it)
 ``convert``   translate between the supported graph file formats
 ``trace``     render a saved execution trace as an ASCII timeline
+``obs``       run-ledger tools: ``runs`` lists recent recorded runs,
+              ``show`` prints one (``--prom`` for Prometheus text),
+              ``diff`` attributes a slowdown between two runs, reports,
+              or ledgers, and ``watch`` streams live per-round progress
 
 Algorithm arguments accept registered names (``afforest``, ``auto``, …)
 and composed plan names (``<sampling>+<finish>``, e.g. ``kout+sv``);
@@ -29,8 +33,11 @@ Graphs are referenced either by a file path (``.el``/``.txt``/``.graph``/
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -50,7 +57,16 @@ from repro.graph.io import load_graph, save_graph
 from repro.graph.properties import summarize
 from repro.obs import (
     TRACE_FORMATS,
+    HeartbeatEvent,
+    HeartbeatMonitor,
+    RunDiff,
+    RunLedger,
+    attribution_markdown,
+    diff_runs,
+    format_diff,
+    format_event,
     load_trace,
+    render_prometheus,
     render_trace,
     skew_lines,
     write_trace,
@@ -363,6 +379,187 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_runs(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger)
+    records = ledger.last(args.limit)
+    if not records:
+        print(f"no records in {ledger.path}")
+        return 0
+    print(
+        f"{'run id':<22} {'kind':<10} {'run':<34} "
+        f"{'backend':<11} {'ms':>10}"
+    )
+    for rec in records:
+        print(
+            f"{rec.run_id:<22} {rec.kind:<10} {rec.label():<34} "
+            f"{rec.backend or '-':<11} {rec.seconds * 1000:>10.2f}"
+        )
+    print(f"\n{len(records)} record(s) from {ledger.path}")
+    return 0
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger)
+    rec = ledger.resolve(args.run)
+    if args.prom:
+        sys.stdout.write(render_prometheus(rec))
+        return 0
+    print(f"run:        {rec.run_id}  ({rec.kind})")
+    print(f"algorithm:  {rec.algorithm or '-'}  plan={rec.plan or '-'}")
+    workers = "" if rec.workers is None else f", workers={rec.workers}"
+    print(f"backend:    {rec.backend or '-'}{workers}")
+    if rec.graph:
+        print(
+            f"graph:      {rec.graph.get('vertices', '?')} vertices, "
+            f"{rec.graph.get('edges', '?')} edges "
+            f"[{rec.graph.get('digest', '?')}]"
+        )
+    comps = "" if rec.num_components is None else f"  {rec.num_components} components"
+    print(f"seconds:    {rec.seconds:.6f}{comps}")
+    if rec.label_dtype_bits:
+        print(f"labels:     int{rec.label_dtype_bits}")
+    if rec.phase_seconds:
+        print("phases:")
+        for label, secs in rec.phase_seconds.items():
+            print(f"  {label:<12} {secs * 1000:10.3f} ms")
+    if rec.counters:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(rec.counters.items()))
+        print(f"counters:   {parts}")
+    if rec.gauges:
+        parts = ", ".join(f"{k}={v:g}" for k, v in sorted(rec.gauges.items()))
+        print(f"gauges:     {parts}")
+    if rec.meta:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(rec.meta.items()))
+        print(f"meta:       {parts}")
+    return 0
+
+
+def _obs_matrix_key(rec: dict) -> tuple[str, str, str]:
+    return (
+        str(rec.get("dataset", "?")),
+        str(rec.get("algorithm", "?")),
+        str(rec.get("backend", "?")),
+    )
+
+
+def _obs_source(
+    arg: str, ledger_path: str | None
+) -> tuple[str, Any]:
+    """Resolve one ``obs diff`` operand.
+
+    An existing file is sniffed by shape: a JSONL whose first record has
+    a ``run_id`` is a run ledger (one entry per combination, latest
+    wins); a JSON object with a ``records`` key is a smoke/benchmark
+    report; anything else is a trace file.  A non-file argument is a
+    run reference (``latest``, ``-N``, or a run-id prefix) resolved
+    against ``--ledger``.  Returns ``("matrix", {key: run})`` or
+    ``("run", source)``.
+    """
+    path = Path(arg)
+    if path.exists():
+        text = path.read_text(encoding="utf-8")
+        first = next((ln for ln in text.splitlines() if ln.strip()), "")
+        try:
+            head = json.loads(first)
+        except ValueError:
+            head = None
+        if isinstance(head, dict) and head.get("run_id"):
+            matrix: dict[tuple[str, str, str], Any] = {}
+            for rec in RunLedger(path).records():
+                dataset = (
+                    rec.meta.get("dataset") or rec.graph.get("digest") or "?"
+                )
+                key = (
+                    str(dataset),
+                    rec.algorithm or rec.plan or "?",
+                    rec.backend or "?",
+                )
+                matrix[key] = rec
+            return "matrix", matrix
+        try:
+            whole = json.loads(text)
+        except ValueError:
+            whole = None
+        if isinstance(whole, dict) and "records" in whole:
+            matrix = {}
+            for rec in whole.get("records") or []:
+                if isinstance(rec, dict) and "median_seconds" in rec:
+                    matrix[_obs_matrix_key(rec)] = rec
+            return "matrix", matrix
+        return "run", load_trace(arg)
+    return "run", RunLedger(ledger_path).resolve(arg)
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    kind_a, a = _obs_source(args.run_a, args.ledger)
+    kind_b, b = _obs_source(args.run_b, args.ledger)
+    if kind_a != kind_b:
+        raise ConfigurationError(
+            "cannot diff a report/ledger matrix against a single run; "
+            "pass two reports/ledgers or two runs/traces"
+        )
+    if kind_a == "matrix":
+        pairs: list[tuple[str, RunDiff]] = []
+        for key in sorted(set(a) & set(b)):
+            name = "/".join(key)
+            pairs.append(
+                (name, diff_runs(a[key], b[key], label_a=name, label_b=name))
+            )
+        if not pairs:
+            print("no comparable (dataset, algorithm, backend) combinations")
+        for name, diff in sorted(
+            pairs, key=lambda item: item[1].ratio, reverse=True
+        ):
+            print(diff.summary())
+        markdown = attribution_markdown(pairs)
+    else:
+        diff = diff_runs(a, b)
+        print(format_diff(diff))
+        name = diff.label_b or diff.label_a or "run"
+        markdown = attribution_markdown([(name, diff)])
+    if args.summary_out:
+        with open(args.summary_out, "a", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+        print(f"markdown attribution appended to {args.summary_out}")
+    return 0
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    spec = get_algorithm(args.algorithm)
+    if not spec.supports_backend(args.backend):
+        raise ConfigurationError(
+            f"algorithm {args.algorithm!r} does not support the "
+            f"{args.backend!r} backend; supported: {list(spec.backends)}"
+        )
+    graph = _resolve_graph(args.graph, args.seed)
+    counts = {"round": 0, "block": 0}
+
+    def sink(event: HeartbeatEvent) -> None:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        if event.kind == "block" and not args.blocks:
+            return
+        print(format_event(event), flush=True)
+
+    backend = make_backend(args.backend, workers=args.workers)
+    try:
+        t0 = time.perf_counter()
+        result = repro.engine.run(
+            args.algorithm,
+            graph,
+            backend=backend,
+            heartbeat=HeartbeatMonitor(sink),
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        backend.close()
+    print(
+        f"{args.algorithm}: {result.num_components} components in "
+        f"{elapsed * 1000:.1f} ms ({counts['round']} rounds, "
+        f"{counts['block']} worker blocks)"
+    )
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args.input, args.seed)
     save_graph(graph, args.output)
@@ -509,6 +706,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=48, help="timeline column width"
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "obs",
+        help="run-ledger tools: list, show, diff, and watch recorded runs",
+    )
+    obs = p.add_subparsers(dest="obs_command", required=True)
+
+    def add_ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger",
+            default=None,
+            metavar="PATH",
+            help="ledger file (default: $REPRO_LEDGER or .repro/ledger.jsonl)",
+        )
+
+    q = obs.add_parser("runs", help="list the most recent recorded runs")
+    add_ledger_arg(q)
+    q.add_argument(
+        "-n", "--limit", type=int, default=20, help="rows to show (newest last)"
+    )
+    q.set_defaults(fn=_cmd_obs_runs)
+
+    q = obs.add_parser(
+        "show", help="print one recorded run (--prom for Prometheus text)"
+    )
+    q.add_argument(
+        "run", help="run reference: run-id prefix, 'latest', or -N"
+    )
+    add_ledger_arg(q)
+    q.add_argument(
+        "--prom",
+        action="store_true",
+        help="emit the run's metrics in Prometheus text exposition format",
+    )
+    q.set_defaults(fn=_cmd_obs_show)
+
+    q = obs.add_parser(
+        "diff",
+        help="attribute the slowdown between two runs, reports, or ledgers",
+    )
+    q.add_argument(
+        "run_a",
+        help="baseline: a run reference, a trace file, a smoke/benchmark "
+        "report (JSON with 'records'), or a ledger (JSONL)",
+    )
+    q.add_argument("run_b", help="candidate: same forms as the baseline")
+    add_ledger_arg(q)
+    q.add_argument(
+        "--summary-out",
+        metavar="PATH",
+        help="append the markdown attribution table to this file "
+        "(point at $GITHUB_STEP_SUMMARY in CI)",
+    )
+    q.set_defaults(fn=_cmd_obs_diff)
+
+    q = obs.add_parser(
+        "watch", help="run an algorithm and stream live per-round progress"
+    )
+    q.add_argument("graph")
+    q.add_argument(
+        "-a",
+        "--algorithm",
+        default="afforest",
+        help=f"registered algorithm or plan name (one of: {algo_names})",
+    )
+    q.add_argument(
+        "--backend",
+        choices=backend_kinds(),
+        default="vectorized",
+        help="execution substrate (default: vectorized)",
+    )
+    q.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the simulated/process backends",
+    )
+    q.add_argument(
+        "--blocks",
+        action="store_true",
+        help="also print per-worker block completions (process backend)",
+    )
+    q.set_defaults(fn=_cmd_obs_watch)
 
     return parser
 

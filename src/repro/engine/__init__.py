@@ -41,6 +41,9 @@ Adding an algorithm::
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 from repro.constants import VERTEX_DTYPE
 from repro.engine.backends import (
     ExecutionBackend,
@@ -84,6 +87,8 @@ from repro.engine.result import CCResult
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.obs import Trace, Tracer
+from repro.obs.heartbeat import HeartbeatEvent, HeartbeatMonitor
+from repro.obs.ledger import RunLedger, record_from_result, resolve_ledger
 
 __all__ = [
     "run",
@@ -133,6 +138,11 @@ def run(
     workers: int | None = None,
     profile: bool = False,
     trace: Tracer | bool | None = None,
+    record: bool | str | RunLedger | None = None,
+    heartbeat: HeartbeatMonitor
+    | Callable[[HeartbeatEvent], object]
+    | list[HeartbeatEvent]
+    | None = None,
     **params,
 ) -> CCResult:
     """Run registered algorithm ``name`` on ``graph`` and return its result.
@@ -161,8 +171,20 @@ def run(
     dispatch, shared-memory setup) is visible; algorithms without native
     phase instrumentation report only ``total``.  With telemetry off,
     ``result.trace`` stays ``None`` and ``phase_seconds`` stays empty.
-    Remaining keyword arguments override the algorithm's registered
-    defaults and are forwarded to its pipeline.
+
+    ``record`` appends a durable :class:`~repro.obs.ledger.RunRecord` to
+    the run ledger: ``True`` for the default ledger, a path or a ready
+    :class:`~repro.obs.ledger.RunLedger` for an explicit one, ``False``
+    to force recording off.  The default (``None``) records only when
+    the ``REPRO_LEDGER`` environment variable names a ledger file.  The
+    appended record's id lands on ``result.run_id``.
+
+    ``heartbeat`` attaches live telemetry: pass a
+    :class:`~repro.obs.heartbeat.HeartbeatMonitor`, a callable sink, or
+    a list to append events to, and iterative pipelines emit one
+    progress event per round (with the process backend adding per-block
+    events as workers finish).  Remaining keyword arguments override the
+    algorithm's registered defaults and are forwarded to its pipeline.
     """
     if plan is not None:
         plan_name = plan.name if isinstance(plan, Plan) else str(plan)
@@ -194,8 +216,15 @@ def run(
     tracer = trace if isinstance(trace, Tracer) else Tracer(
         bool(profile) or bool(trace)
     )
-    instr = Instrumentation(tracer=tracer)
+    ledger = resolve_ledger(record)
+    monitor: HeartbeatMonitor | None
+    if heartbeat is None or isinstance(heartbeat, HeartbeatMonitor):
+        monitor = heartbeat
+    else:
+        monitor = HeartbeatMonitor(heartbeat)
+    instr = Instrumentation(tracer=tracer, heartbeat=monitor)
     backend.bind(instr)
+    t_start = time.perf_counter()
     try:
         try:
             if tracer.enabled:
@@ -216,6 +245,7 @@ def run(
     finally:
         if owned:
             backend.close()
+    elapsed = time.perf_counter() - t_start
     result.algorithm = name
     result.backend = backend.kind
     result.params = dict(merged)
@@ -229,4 +259,14 @@ def run(
         result.phase_seconds = trace_obj.phase_seconds()
         if trace_obj.counters:
             result.counters.update(trace_obj.counters)
+    if ledger is not None:
+        ledger_record = record_from_result(
+            result,
+            graph=graph,
+            seconds=elapsed,
+            meta={"workers": getattr(backend, "workers", None)},
+        )
+        ledger.append(ledger_record)
+        # Not a CCResult field: run identity only exists when recorded.
+        result.run_id = ledger_record.run_id  # type: ignore[attr-defined]
     return result

@@ -124,6 +124,16 @@ def auto_components(
         plan_name, probes = select_plan(graph, tracer=tracer)
         if span is not None:
             span.attrs.update(plan=plan_name, **probes)
+            # Probe overhead broken out for the adaptive benchmark: the
+            # float truth as a gauge, plus an integer microsecond counter
+            # so it surfaces through ``result.counters`` like the rest.
+            probe_seconds = sum(
+                c.duration for c in span.children if c.name == "probe"
+            )
+            backend.instr.metrics.gauge("probe_seconds").set(probe_seconds)
+            backend.instr.count(
+                "probe_seconds_us", int(round(probe_seconds * 1e6))
+            )
     plan = get_plan(plan_name)
     accepted = set(plan.accepted_params())
     forwarded = {k: v for k, v in params.items() if k in accepted}

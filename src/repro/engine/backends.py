@@ -1164,17 +1164,72 @@ class ProcessParallelBackend(ExecutionBackend):
         after the barrier the rows are merged into the trace as worker-
         track spans nested under the open phase span, plus a
         ``block_imbalance`` histogram sample (max/mean task duration).
+
+        With a live heartbeat attached the dispatch goes asynchronous:
+        workers stamp their stats rows as each block finishes, so the
+        parent polls the shared segment *during* the barrier and emits a
+        ``block`` heartbeat event per completed task while siblings are
+        still running — post-barrier merging into the trace is unchanged.
         """
         tracer = self.instr.tracer
-        if not tracer.enabled:
+        heartbeat = self.instr.heartbeat
+        if not tracer.enabled and heartbeat is None:
             return self._starmap(fn, tasks)
         stats = self._ensure_stats(len(tasks))
         stats.array[: len(tasks) * _part.STATS_FIELDS] = 0.0
         spec = stats.spec
-        out = self._starmap(
-            fn, [(*t, (spec, i)) for i, t in enumerate(tasks)]
-        )
-        self._merge_worker_stats(phase, stats.array, len(tasks))
+        tagged = [(*t, (spec, i)) for i, t in enumerate(tasks)]
+        if heartbeat is not None:
+            out = self._stream_barrier(
+                fn, tagged, stats.array, len(tasks), phase, heartbeat
+            )
+        else:
+            out = self._starmap(fn, tagged)
+        if tracer.enabled:
+            self._merge_worker_stats(phase, stats.array, len(tasks))
+        return out
+
+    def _stream_barrier(
+        self,
+        fn,
+        tagged: list[tuple],
+        rows: np.ndarray,
+        num_tasks: int,
+        phase: str,
+        heartbeat,
+    ) -> list:
+        """Async barrier that surfaces block completions as they land.
+
+        Worker tasks stamp their stats row (``t1 > 0``) as their last
+        action, so a completed row in the shared segment is safe to read
+        before the pool's own result arrives; every task is reported
+        exactly once (stragglers in the final sweep after the join).
+        """
+        async_result = self._ensure_pool().starmap_async(fn, tagged)
+        fields = _part.STATS_FIELDS
+        reported = [False] * num_tasks
+
+        def drain() -> None:
+            for i in range(num_tasks):
+                if reported[i]:
+                    continue
+                t0, t1, _pid, items, _aux = rows[
+                    i * fields : (i + 1) * fields
+                ]
+                if t1 > 0.0:
+                    reported[i] = True
+                    heartbeat.block(
+                        phase,
+                        block=i,
+                        seconds=float(t1 - t0),
+                        items=int(items),
+                    )
+
+        while not async_result.ready():
+            drain()
+            async_result.wait(0.002)
+        out = async_result.get()
+        drain()
         return out
 
     def _merge_worker_stats(
@@ -1234,6 +1289,10 @@ class ProcessParallelBackend(ExecutionBackend):
         if buf is None or buf.length < length:
             self._release(buf)
             buf = SharedVector(max(length, 1024))
+            # Segment creation is a real allocation: report it like the
+            # BufferPool does, so ``bytes_allocated`` covers the shared
+            # edge/frontier scratch too (a warm backend reports zero).
+            self._count_alloc(buf.array.nbytes)
         return buf
 
     def _load_edges(self, src: np.ndarray, dst: np.ndarray):
@@ -1477,7 +1536,13 @@ class ProcessParallelBackend(ExecutionBackend):
             return np.empty(0, dtype=VERTEX_DTYPE)
         self._frontier_buf = self._grow_buffer(self._frontier_buf, k)
         self._frontier_buf.array[:k] = frontier
-        deg = graph.indptr[frontier + 1] - graph.indptr[frontier]
+        # Per-round degree scratch through the pool: ``indptr[1:]`` is a
+        # view, so the two pooled takes plus the in-place subtract demand
+        # no fresh memory once the buffers are warm.
+        indptr = graph.indptr
+        deg = self.pool.take(indptr[1:], frontier, "frontier-deg")
+        lo = self.pool.take(indptr, frontier, "frontier-lo")
+        np.subtract(deg, lo, out=deg)
         ranges = _part.partition_weighted_ranges(deg, self.workers)
         f_spec = self._frontier_buf.spec
         with self.instr.timer(phase):
@@ -1516,6 +1581,7 @@ class ProcessParallelBackend(ExecutionBackend):
         if self._mask_buf is None or self._mask_buf.length < n:
             self._release(self._mask_buf)
             self._mask_buf = SharedVector(max(n, 1024), dtype=np.uint8)
+            self._count_alloc(self._mask_buf.array.nbytes)
         self._mask_buf.array[:n] = in_frontier
         m_spec = self._mask_buf.spec
         with self.instr.timer(phase):

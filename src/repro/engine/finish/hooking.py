@@ -84,6 +84,9 @@ def _hook_loop(
             # iteration: pi <- pi[pi] once.  Trees shrink gradually and
             # convergence takes more iterations than GAP's full compress.
             backend.shortcut_step(pi, phase=shortcut_phase)
+        backend.instr.beat(
+            phase_label("H", round=iterations), changed=int(changed)
+        )
         if not changed:
             # With single-step shortcutting the trees may still be deep;
             # converged means no more hooks, so finish compressing now.
@@ -164,6 +167,9 @@ def fastsv_finish(ctx: PlanContext, *, hooking: str = "plain") -> None:
             phase=phase_label("HS", round=iterations),
         )
         result.edges_processed += m
+        backend.instr.beat(
+            phase_label("HS", round=iterations), changed=int(changed)
+        )
         if not changed:
             break
     result.iterations = iterations

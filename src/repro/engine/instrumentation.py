@@ -9,10 +9,18 @@ views are derived from the trace, so existing backends and callers keep
 working unchanged while every profiled run produces a full span tree.
 Backends that need richer telemetry (worker spans, histograms) reach the
 substrate directly through ``instr.tracer`` / ``instr.metrics``.
+
+Live telemetry rides the same shim: when ``engine.run`` attaches a
+:class:`~repro.obs.heartbeat.HeartbeatMonitor`, pipelines report round
+completions through :meth:`Instrumentation.beat`; without one the call
+is a single ``None`` check.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.obs.heartbeat import HeartbeatMonitor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
@@ -28,15 +36,20 @@ class Instrumentation:
     Both stay empty while ``enabled`` is False.
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "heartbeat")
 
     def __init__(
-        self, enabled: bool = False, *, tracer: Tracer | None = None
+        self,
+        enabled: bool = False,
+        *,
+        tracer: Tracer | None = None,
+        heartbeat: HeartbeatMonitor | None = None,
     ) -> None:
         if tracer is None:
             tracer = Tracer(enabled)
         self.tracer = tracer
         self.metrics: MetricsRegistry = tracer.metrics
+        self.heartbeat = heartbeat
 
     @property
     def enabled(self) -> bool:
@@ -50,6 +63,20 @@ class Instrumentation:
     def count(self, name: str, amount: int = 1) -> None:
         """Accumulate ``amount`` under counter ``name`` (when enabled)."""
         self.metrics.counter(name).inc(amount)
+
+    def beat(
+        self,
+        phase: str = "",
+        *,
+        frontier: int | None = None,
+        changed: int | None = None,
+        **extra: Any,
+    ) -> None:
+        """Report a finished pipeline round to the live heartbeat, if any."""
+        if self.heartbeat is not None:
+            self.heartbeat.beat(
+                phase, frontier=frontier, changed=changed, **extra
+            )
 
     @property
     def seconds(self) -> dict[str, float]:

@@ -12,7 +12,15 @@ The telemetry layer behind ``engine.run(profile=True, trace=...)``:
   ``trace_event`` JSON (Perfetto-loadable), both round-trippable via
   :func:`load_trace`;
 - :func:`render_trace` (:mod:`repro.obs.render`) — the ASCII
-  timeline/summary printed by ``python -m repro trace``.
+  timeline/summary printed by ``python -m repro trace``;
+- the run ledger (:mod:`repro.obs.ledger`) — durable, append-only
+  :class:`RunRecord` JSONL entries behind ``engine.run(record=...)``;
+- :func:`diff_runs` (:mod:`repro.obs.diff`) — regression attribution
+  between two recorded runs or traces;
+- :class:`HeartbeatMonitor` (:mod:`repro.obs.heartbeat`) — live
+  per-round progress events with an ETA from the round trend;
+- :func:`render_prometheus` (:mod:`repro.obs.promexport`) — Prometheus
+  text exposition of any metrics snapshot.
 
 The package is self-contained (no imports from :mod:`repro.engine` or
 :mod:`repro.bench` at module scope), so every layer above can build on it
@@ -21,6 +29,7 @@ without cycles.
 
 from __future__ import annotations
 
+from repro.obs.diff import RunDiff, attribution_markdown, diff_runs, format_diff
 from repro.obs.export import (
     TRACE_FORMATS,
     load_trace,
@@ -28,6 +37,13 @@ from repro.obs.export import (
     write_chrome,
     write_jsonl,
     write_trace,
+)
+from repro.obs.heartbeat import HeartbeatEvent, HeartbeatMonitor, format_event
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+    record_from_result,
+    resolve_ledger,
 )
 from repro.obs.metrics import (
     POW2_BUCKETS,
@@ -37,24 +53,38 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.promexport import prometheus_lines, render_prometheus
 from repro.obs.render import render_trace, skew_lines
 from repro.obs.trace import PhaseLabel, Span, Trace, Tracer, phase_label
 
 __all__ = [
     "Counter",
     "Gauge",
+    "HeartbeatEvent",
+    "HeartbeatMonitor",
     "Histogram",
     "MetricsRegistry",
     "PhaseLabel",
     "POW2_BUCKETS",
     "RATIO_BUCKETS",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "Trace",
     "TRACE_FORMATS",
     "Tracer",
+    "attribution_markdown",
+    "diff_runs",
+    "format_diff",
+    "format_event",
     "load_trace",
     "phase_label",
+    "prometheus_lines",
+    "record_from_result",
+    "render_prometheus",
     "render_trace",
+    "resolve_ledger",
     "skew_lines",
     "trace_events",
     "write_chrome",

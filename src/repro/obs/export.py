@@ -56,6 +56,7 @@ def _jsonl_lines(trace: Trace) -> list[dict[str, Any]]:
         {
             "type": "meta",
             "counters": trace.counters,
+            "gauges": trace.gauges,
             "histograms": trace.histograms,
             "meta": trace.meta,
         }
@@ -95,6 +96,7 @@ def write_jsonl(trace: Trace, path: str | Path) -> None:
 
 def _load_jsonl(text: str) -> Trace:
     counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
     histograms: dict[str, Any] = {}
     meta: dict[str, Any] = {}
     spans: dict[int, Span] = {}
@@ -107,6 +109,7 @@ def _load_jsonl(text: str) -> Trace:
         kind = record.get("type")
         if kind == "meta":
             counters = record.get("counters") or {}
+            gauges = record.get("gauges") or {}
             histograms = record.get("histograms") or {}
             meta = record.get("meta") or {}
         elif kind == "span":
@@ -120,11 +123,20 @@ def _load_jsonl(text: str) -> Trace:
             span.attrs = dict(record.get("attrs") or {})
             spans[int(record["id"])] = span
             parent = record.get("parent")
-            if parent is None:
+            host = None if parent is None else spans.get(int(parent))
+            if host is None:
+                # Dangling parent ids (truncated or hand-edited files)
+                # degrade to extra roots instead of raising.
                 roots.append(span)
             else:
-                spans[int(parent)].children.append(span)
-    return Trace(roots, counters=counters, histograms=histograms, meta=meta)
+                host.children.append(span)
+    return Trace(
+        roots,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        meta=meta,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -176,6 +188,7 @@ def trace_events(trace: Trace) -> list[dict[str, Any]]:
             "tid": 0,
             "args": {
                 "counters": trace.counters,
+                "gauges": trace.gauges,
                 "histograms": trace.histograms,
                 "meta": trace.meta,
             },
@@ -215,6 +228,7 @@ def write_chrome(trace: Trace, path: str | Path) -> None:
 
 def _load_chrome(events: list[dict[str, Any]]) -> Trace:
     counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
     histograms: dict[str, Any] = {}
     meta: dict[str, Any] = {}
     track_names: dict[int, str] = {}
@@ -231,6 +245,7 @@ def _load_chrome(events: list[dict[str, Any]]) -> Trace:
             elif event.get("name") == _META_EVENT:
                 args = event.get("args", {})
                 counters = args.get("counters") or {}
+                gauges = args.get("gauges") or {}
                 histograms = args.get("histograms") or {}
                 meta = args.get("meta") or {}
         elif ph == "X":
@@ -291,7 +306,13 @@ def _load_chrome(events: list[dict[str, Any]]) -> Trace:
             host = found
             candidates = list(found.children)
         (host.children if host else roots).append(span)
-    return Trace(roots, counters=counters, histograms=histograms, meta=meta)
+    return Trace(
+        roots,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        meta=meta,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,162 @@
+"""Prometheus text exposition of run metrics.
+
+Renders a metrics snapshot — live :class:`~repro.obs.metrics.MetricsRegistry`,
+finished :class:`~repro.obs.trace.Trace`, or durable
+:class:`~repro.obs.ledger.RunRecord` — in the Prometheus text exposition
+format (version 0.0.4), so the future serving layer can expose a
+``/metrics`` endpoint by calling one function, and ``repro obs show
+--prom`` can feed recorded runs to any Prometheus-compatible tooling
+today.
+
+Mapping:
+
+- counters become ``<ns>_<name>_total`` (``# TYPE counter``);
+- gauges become ``<ns>_<name>`` (``# TYPE gauge``);
+- histogram summaries become the full ``_bucket``/``_sum``/``_count``
+  triplet with *cumulative* ``le`` buckets, converted from the
+  registry's per-bucket counts.
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); caller-supplied labels (algorithm,
+backend, dataset) are attached to every sample.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.ledger import RunRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+
+__all__ = ["prometheus_lines", "render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(namespace: str, name: str, suffix: str = "") -> str:
+    base = _NAME_OK.sub("_", f"{namespace}_{name}{suffix}")
+    if base and base[0].isdigit():
+        base = f"_{base}"
+    return base
+
+
+def _label_str(labels: Mapping[str, Any] | None, **extra: str) -> str:
+    merged: dict[str, str] = {}
+    for k, v in (labels or {}).items():
+        if v is None:
+            continue
+        key = _LABEL_OK.sub("_", str(k))
+        value = str(v).replace("\\", r"\\").replace('"', r"\"")
+        merged[key] = value
+    merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return f"{{{inner}}}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_lines(
+    *,
+    counters: Mapping[str, int] | None = None,
+    gauges: Mapping[str, float] | None = None,
+    histograms: Mapping[str, Mapping[str, Any]] | None = None,
+    namespace: str = "repro",
+    labels: Mapping[str, Any] | None = None,
+) -> list[str]:
+    """The exposition lines for one metrics snapshot."""
+    lines: list[str] = []
+    base_labels = _label_str(labels)
+    for name in sorted(counters or {}):
+        metric = _metric_name(namespace, name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        value = _format_value(float((counters or {})[name]))
+        lines.append(f"{metric}{base_labels} {value}")
+    for name in sorted(gauges or {}):
+        metric = _metric_name(namespace, name)
+        lines.append(f"# TYPE {metric} gauge")
+        value = _format_value(float((gauges or {})[name]))
+        lines.append(f"{metric}{base_labels} {value}")
+    for name in sorted(histograms or {}):
+        summary = (histograms or {})[name]
+        if not isinstance(summary, Mapping):
+            continue
+        metric = _metric_name(namespace, name)
+        lines.append(f"# TYPE {metric} histogram")
+        buckets = summary.get("buckets") or {}
+        bounded = sorted(
+            (float(b), int(c)) for b, c in buckets.items() if b != "+inf"
+        )
+        cumulative = 0
+        for bound, count in bounded:
+            cumulative += count
+            le = _label_str(labels, le=_format_value(bound))
+            lines.append(f"{metric}_bucket{le} {cumulative}")
+        total = int(summary.get("count") or 0)
+        le = _label_str(labels, le="+Inf")
+        lines.append(f"{metric}_bucket{le} {total}")
+        total_sum = _format_value(float(summary.get("sum") or 0.0))
+        lines.append(f"{metric}_sum{base_labels} {total_sum}")
+        lines.append(f"{metric}_count{base_labels} {total}")
+    return lines
+
+
+def render_prometheus(
+    source: Trace | RunRecord | MetricsRegistry | Mapping[str, Any],
+    *,
+    namespace: str = "repro",
+    labels: Mapping[str, Any] | None = None,
+) -> str:
+    """Render any metrics-bearing object as Prometheus text.
+
+    For traces and run records, provenance (algorithm, backend, and —
+    for records — the dataset) is merged into the sample labels unless
+    the caller supplies their own.
+    """
+    merged: dict[str, Any] = {}
+    if isinstance(source, Trace):
+        counters: Mapping[str, Any] = source.counters
+        gauges: Mapping[str, Any] = source.gauges
+        histograms: Mapping[str, Any] = source.histograms
+        for key in ("algorithm", "backend"):
+            if source.meta.get(key):
+                merged[key] = source.meta[key]
+    elif isinstance(source, RunRecord):
+        counters = source.counters
+        gauges = source.gauges
+        histograms = source.histograms
+        if source.algorithm:
+            merged["algorithm"] = source.algorithm
+        if source.backend:
+            merged["backend"] = source.backend
+        if source.meta.get("dataset"):
+            merged["dataset"] = source.meta["dataset"]
+        merged["run_id"] = source.run_id
+    elif isinstance(source, MetricsRegistry):
+        counters = source.counters_snapshot()
+        gauges = source.gauges_snapshot()
+        histograms = source.histogram_summaries()
+    else:
+        counters = source.get("counters") or {}
+        gauges = source.get("gauges") or {}
+        histograms = source.get("histograms") or {}
+    merged.update(labels or {})
+    lines = prometheus_lines(
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        namespace=namespace,
+        labels=merged,
+    )
+    return "\n".join(lines) + ("\n" if lines else "")

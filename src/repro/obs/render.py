@@ -50,15 +50,19 @@ def skew_lines(skew: dict[str, dict[str, float]]) -> list[str]:
     """Human-readable per-phase worker-skew lines (max/mean block time).
 
     ``skew`` is the :meth:`~repro.obs.trace.Trace.worker_skew` mapping
-    (or its JSON round-trip); phases appear in recording order.
+    (or its JSON round-trip); phases appear in recording order.  Missing
+    statistics render as zeros instead of raising, so the renderer keeps
+    working on skew maps written by other tool versions.
     """
     lines = []
     for label, stats in skew.items():
+        if not isinstance(stats, dict):
+            continue
         lines.append(
-            f"{label:<10} {stats['skew']:5.2f}x  "
-            f"(max {_fmt_ms(stats['max_s'])} ms, "
-            f"mean {_fmt_ms(stats['mean_s'])} ms, "
-            f"{int(stats['tasks'])} tasks)"
+            f"{label:<10} {float(stats.get('skew', 1.0)):5.2f}x  "
+            f"(max {_fmt_ms(float(stats.get('max_s', 0.0)))} ms, "
+            f"mean {_fmt_ms(float(stats.get('mean_s', 0.0)))} ms, "
+            f"{int(stats.get('tasks', 0))} tasks)"
         )
     return lines
 
@@ -81,18 +85,28 @@ def render_trace(trace: Trace, *, width: int = 48) -> str:
         f"{trace.num_spans()} spans"
     ]
 
+    main_spans = [
+        (span, depth)
+        for span, depth in trace.walk()
+        if span.track is None
+    ]
+    # Column width tracks the deepest/longest label (fused HS<i> rounds,
+    # attribute-heavy phases) so unknown vocabularies stay aligned.
+    name_width = max(
+        [22] + [2 * d + len(str(s.label)) for s, d in main_spans]
+    )
     lines.append("")
-    lines.append(f"{'span':<22} {'ms':>10} {'%':>7}  timeline")
-    for span, depth in trace.walk():
-        if span.track is not None:
-            continue
-        name = "  " * depth + span.label
+    lines.append(f"{'span':<{name_width}} {'ms':>10} {'%':>7}  timeline")
+    for span, depth in main_spans:
+        name = "  " * depth + str(span.label)
         share = span.duration / total if total else 0.0
         bar = timeline_bar(
             [(span.t0, span.t1 or span.t0)], origin, total, width
         )
+        open_mark = "" if span.t1 is not None else "  (open)"
         lines.append(
-            f"{name:<22} {_fmt_ms(span.duration):>10} {share:>6.1%}  {bar}"
+            f"{name:<{name_width}} {_fmt_ms(span.duration):>10}"
+            f" {share:>6.1%}  {bar}{open_mark}"
         )
 
     tracks = trace.tracks()
@@ -125,6 +139,12 @@ def render_trace(trace: Trace, *, width: int = 48) -> str:
             f"{k}={v}" for k, v in sorted(trace.counters.items())
         )
         lines.append(f"counters: {parts}")
+    if trace.gauges:
+        lines.append("")
+        parts = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(trace.gauges.items())
+        )
+        lines.append(f"gauges: {parts}")
     if trace.histograms:
         lines.append("")
         lines.append("histograms:")
@@ -138,6 +158,9 @@ def _histogram_lines(histograms: dict[str, dict[str, Any]]) -> list[str]:
 
     lines = []
     for name, summary in sorted(histograms.items()):
+        if not isinstance(summary, dict):
+            lines.append(f"  {name}: (unreadable summary)")
+            continue
         count = summary.get("count", 0)
         if not count:
             lines.append(f"  {name}: empty")

@@ -137,23 +137,26 @@ class Trace:
     """A finished run's telemetry: the span tree plus metric snapshots.
 
     ``spans`` are the root spans in start order (an engine run has one,
-    ``total``); ``counters`` and ``histograms`` are the final snapshots of
-    the run's :class:`~repro.obs.metrics.MetricsRegistry`; ``meta`` is
-    provenance (algorithm, backend, worker count) stamped by the engine.
+    ``total``); ``counters``, ``gauges``, and ``histograms`` are the final
+    snapshots of the run's :class:`~repro.obs.metrics.MetricsRegistry`;
+    ``meta`` is provenance (algorithm, backend, worker count) stamped by
+    the engine.
     """
 
-    __slots__ = ("spans", "counters", "histograms", "meta")
+    __slots__ = ("spans", "counters", "gauges", "histograms", "meta")
 
     def __init__(
         self,
         spans: list[Span],
         *,
         counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
         histograms: dict[str, dict[str, Any]] | None = None,
         meta: dict[str, Any] | None = None,
     ) -> None:
         self.spans = spans
         self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
         self.histograms = dict(histograms or {})
         self.meta = dict(meta or {})
 
@@ -256,6 +259,7 @@ class Trace:
         return {
             "spans": [span_dict(s) for s in self.spans],
             "counters": self.counters,
+            "gauges": self.gauges,
             "histograms": self.histograms,
             "meta": self.meta,
         }
@@ -279,6 +283,7 @@ class Trace:
         return cls(
             [build(d) for d in data.get("spans", [])],
             counters=data.get("counters"),
+            gauges=data.get("gauges"),
             histograms=data.get("histograms"),
             meta=data.get("meta"),
         )
@@ -369,6 +374,7 @@ class Tracer:
         return Trace(
             self._roots,
             counters=self.metrics.counters_snapshot(),
+            gauges=self.metrics.gauges_snapshot(),
             histograms=self.metrics.histogram_summaries(),
             meta=meta,
         )

@@ -99,6 +99,35 @@ class TestCompareAgainstBaseline:
         assert failures == []
         assert any("new combination" in n for n in notes)
 
+    def test_timing_failure_carries_attribution(self):
+        base = _report(_record(
+            median=0.010,
+            phase_seconds={"HS3": 0.002, "total": 0.010},
+            counters={"rounds_skipped": 4},
+        ))
+        now = _report(_record(
+            median=0.030,
+            phase_seconds={"HS3": 0.020, "total": 0.030},
+            counters={"rounds_skipped": 0},
+        ))
+        failures, _ = compare_against_baseline(
+            now, base, fail_threshold=1.25
+        )
+        assert len(failures) == 1
+        # The gate names the regressed phase and the moved counter so
+        # the CI log explains the failure, not just reports it.
+        assert "HS3" in failures[0]
+        assert "rounds_skipped 4→0" in failures[0]
+
+    def test_timing_failure_without_phases_degrades(self):
+        base = _report(_record(median=0.010))
+        now = _report(_record(median=0.030))
+        failures, _ = compare_against_baseline(
+            now, base, fail_threshold=1.25
+        )
+        assert len(failures) == 1
+        assert "threshold" in failures[0]
+
     def test_scaling_records_ignored(self):
         base = _report(
             _record(),
@@ -134,6 +163,28 @@ class TestGateSummaryMarkdown:
         )
         assert "**FAILED**" in md
         assert "### Regressions" in md
+
+    def test_attribution_table_for_comparable_runs(self):
+        base = _report(_record(
+            median=0.010,
+            phase_seconds={"HS3": 0.002, "total": 0.010},
+            counters={"rounds_skipped": 4},
+        ))
+        now = _report(_record(
+            median=0.030,
+            phase_seconds={"HS3": 0.020, "total": 0.030},
+            counters={"rounds_skipped": 0},
+        ))
+        md = gate_summary_markdown(now, base, [], [], fail_threshold=1.25)
+        assert "### Regression attribution" in md
+        assert "HS3" in md
+        assert "rounds_skipped 4→0" in md
+
+    def test_attribution_section_absent_without_baseline_pairs(self):
+        base = _report(_record(algorithm="other"))
+        now = _report(_record())
+        md = gate_summary_markdown(now, base, [], [], fail_threshold=1.25)
+        assert "_no comparable runs_" in md or "attribution" not in md
 
 
 class TestGateCli:

@@ -59,3 +59,36 @@ class TestRenderTrace:
         trace = Trace([Span("total", 0.0, 1.0)])
         text = render_trace(trace)
         assert "worker" not in text
+
+
+class TestGracefulDegradation:
+    """Satellite: the renderer survives traces written by other tool
+    versions — missing skew statistics, open spans, unknown attrs."""
+
+    def test_skew_lines_tolerate_missing_stats(self):
+        lines = skew_lines({"H1": {"skew": 2.0}, "H2": {}})
+        assert len(lines) == 2
+        assert "2.00x" in lines[0]
+        assert "0 tasks" in lines[1]
+
+    def test_skew_lines_skip_non_dict_stats(self):
+        assert skew_lines({"H1": "corrupt"}) == []
+
+    def test_open_span_renders_with_marker(self):
+        root = Span("total", 0.0, 1.0)
+        root.children.append(Span("H1", 0.0))  # never closed
+        text = render_trace(Trace([root]))
+        assert "(open)" in text
+
+    def test_unknown_attrs_and_long_labels_stay_aligned(self):
+        root = Span("total", 0.0, 1.0)
+        root.children.append(
+            Span(
+                "some-very-long-unfamiliar-phase-label",
+                0.0,
+                0.5,
+                attrs={"mystery": object()},
+            )
+        )
+        text = render_trace(Trace([root]))
+        assert "some-very-long-unfamiliar-phase-label" in text

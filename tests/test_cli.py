@@ -298,3 +298,96 @@ class TestConvert:
         out = str(tmp_path / "road.el")
         assert main(["convert", "dataset:road:tiny", out]) == 0
         assert load_graph(out).num_edges > 0
+
+
+class TestObs:
+    """The ``repro obs`` family: runs, show, diff, watch."""
+
+    @pytest.fixture
+    def ledger_path(self, tmp_path, two_cliques):
+        from repro import engine
+
+        path = tmp_path / "ledger.jsonl"
+        engine.run("sv", two_cliques, profile=True, record=str(path))
+        engine.run("fastsv", two_cliques, profile=True, record=str(path))
+        return str(path)
+
+    def test_runs_lists_records(self, ledger_path, capsys):
+        assert main(["obs", "runs", "--ledger", ledger_path]) == 0
+        out = capsys.readouterr().out
+        assert "sv/" in out and "fastsv/" in out
+        assert "2 record(s)" in out
+
+    def test_runs_empty_ledger(self, tmp_path, capsys):
+        empty = str(tmp_path / "none.jsonl")
+        assert main(["obs", "runs", "--ledger", empty]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_show_latest(self, ledger_path, capsys):
+        assert main(["obs", "show", "latest", "--ledger", ledger_path]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm:  fastsv" in out
+        assert "phases:" in out
+
+    def test_show_prometheus(self, ledger_path, capsys):
+        assert main(
+            ["obs", "show", "latest", "--ledger", ledger_path, "--prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert 'algorithm="fastsv"' in out
+
+    def test_show_ambiguous_prefix_fails(self, ledger_path, capsys):
+        assert main(["obs", "show", "r", "--ledger", ledger_path]) == 1
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_diff_two_runs(self, ledger_path, capsys):
+        from repro.obs import RunLedger
+
+        ids = [r.run_id for r in RunLedger(ledger_path).records()]
+        assert main(
+            ["obs", "diff", ids[0], ids[1], "--ledger", ledger_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total" in out
+
+    def test_diff_matrix_and_summary_out(self, tmp_path, ledger_path, capsys):
+        import json as _json
+
+        from repro.obs import RunLedger
+
+        records = []
+        for rec in RunLedger(ledger_path).records():
+            records.append(
+                {
+                    "dataset": rec.graph.get("digest", "?"),
+                    "algorithm": rec.algorithm,
+                    "backend": rec.backend,
+                    "median_seconds": rec.seconds * 2,
+                    "phase_seconds": rec.phase_seconds,
+                    "counters": rec.counters,
+                }
+            )
+        report = tmp_path / "report.json"
+        report.write_text(_json.dumps({"records": records}), encoding="utf-8")
+        summary = tmp_path / "summary.md"
+        assert main(
+            [
+                "obs", "diff", str(report), ledger_path,
+                "--summary-out", str(summary),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sv/" in out  # per-combination summary lines
+        text = summary.read_text(encoding="utf-8")
+        assert "| run | ratio |" in text
+
+    def test_diff_mixed_sources_fail(self, ledger_path, capsys):
+        assert main(["obs", "diff", ledger_path, "latest"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_streams_rounds(self, graph_file, capsys):
+        assert main(["obs", "watch", graph_file, "-a", "sv"]) == 0
+        out = capsys.readouterr().out
+        assert "round   1" in out
+        assert "components in" in out
