@@ -9,6 +9,9 @@ Commands
 ``compare``   run several algorithms on one graph and print a timing table
 ``plans``     list the sampling × finish plan space (``--check`` validates it)
 ``convert``   translate between the supported graph file formats
+``serve``     stand up the connectivity serving layer on one graph and
+              drive a mixed query/update stream through it (throughput,
+              p50/p95/p99 latency, epoch bit-identity oracle)
 ``trace``     render a saved execution trace as an ASCII timeline
 ``obs``       run-ledger tools: ``runs`` lists recent recorded runs,
               ``show`` prints one (``--prom`` for Prometheus text),
@@ -567,6 +570,81 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serving import drive_session
+
+    graph = _resolve_graph(args.graph, args.seed)
+    record, service = drive_session(
+        graph,
+        args.graph,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        workers=args.workers,
+        requests=args.requests,
+        query_frac=args.query_frac,
+        size_frac=args.size_frac,
+        pair_batch=args.pair_batch,
+        update_edges=args.update_edges,
+        recompress_every=args.recompress_every,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        oracle=not args.no_oracle,
+        ledger=args.ledger,
+    )
+    counters = record["counters"]
+    plan = f" (plan {record['plan']})" if record.get("plan") else ""
+    print(
+        f"served {args.graph}: {record['algorithm']} on "
+        f"{record['backend']}{plan}"
+    )
+    print(
+        f"  requests    {record['requests']} "
+        f"({counters.get('serve_batch_queries', 0)} query batches, "
+        f"{counters.get('serve_updates', 0)} update bursts, "
+        f"{counters.get('serve_coalesced', 0)} coalesced)"
+    )
+    print(f"  throughput  {record['throughput_rps']:.0f} req/s")
+    print(
+        f"  latency     p50 {record['p50_ms']:.3f} ms   "
+        f"p95 {record['p95_ms']:.3f} ms   p99 {record['p99_ms']:.3f} ms"
+    )
+    print(
+        f"  state       {record['epochs']} epochs published, "
+        f"{record['edges_inserted']} stream edges absorbed, "
+        f"{record['num_components']} components"
+    )
+    ok = True
+    if not args.no_oracle:
+        ok = bool(record["matches_oracle"])
+        verdict = (
+            "bit-identical to batch re-solve"
+            if ok
+            else "MISMATCH against batch re-solve"
+        )
+        print(f"  oracle      {record['oracle_epochs']} epochs {verdict}")
+    if args.output:
+        report = {
+            "kind": "serving",
+            "failures": 0 if ok else 1,
+            "records": [record],
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.output}")
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(service.prometheus())
+        print(f"prometheus metrics written to {args.prom_out}")
+    if not ok:
+        print(
+            "error: a published epoch disagrees with the batch re-solve "
+            "oracle",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` command line."""
     parser = argparse.ArgumentParser(
@@ -697,6 +775,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("output")
     p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the connectivity serving layer over one graph: solve "
+        "once, drive a mixed query/update stream, report throughput and "
+        "latency percentiles",
+    )
+    p.add_argument("graph")
+    p.add_argument(
+        "-a",
+        "--algorithm",
+        default="afforest",
+        help=f"algorithm or plan for the initial solve (one of: "
+        f"{algo_names}; or '<sampling>+<finish>')",
+    )
+    p.add_argument(
+        "--backend",
+        choices=backend_kinds(),
+        default=None,
+        help="backend for the initial solve (serving reads are "
+        "vectorized NumPy regardless)",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--requests", type=int, default=400,
+        help="requests in the driven stream (default 400)",
+    )
+    p.add_argument(
+        "--query-frac", type=float, default=0.8,
+        help="fraction of requests that are pair-query batches",
+    )
+    p.add_argument(
+        "--size-frac", type=float, default=0.1,
+        help="fraction that are size-query batches (rest are updates)",
+    )
+    p.add_argument(
+        "--pair-batch", type=int, default=32,
+        help="vertex pairs per query request",
+    )
+    p.add_argument(
+        "--update-edges", type=int, default=32,
+        help="edges per insertion burst",
+    )
+    p.add_argument(
+        "--recompress-every", type=int, default=1024,
+        help="stream edges absorbed between re-compression epochs",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=128,
+        help="requests coalesced per worker-loop wakeup",
+    )
+    p.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip verifying each epoch against a batch re-solve",
+    )
+    p.add_argument("--output", help="write a JSON serving report here")
+    p.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="write the session's Prometheus text exposition here",
+    )
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help='append a kind="serve" session record to this JSONL ledger',
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "trace", help="render a saved trace (jsonl or chrome) as ASCII"

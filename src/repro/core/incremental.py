@@ -35,7 +35,14 @@ class IncrementalConnectivity:
         A full vectorized compression runs after this many insertions,
         bounding tree depths (the incremental analogue of Afforest's
         interleaved ``compress`` phases).  ``0`` disables periodic
-        compression (queries still self-compress lazily).
+        compression entirely; correctness is then carried by the *lazy*
+        query paths instead: :meth:`find` path-compresses exactly the
+        chain it walks (and nothing else), the batch queries
+        (:meth:`same_component_batch`, :meth:`roots_of`) chase parent
+        pointers without mutating π at all, and :meth:`labels` /
+        :meth:`component_sizes` still perform a full compression as a
+        side effect.  Deep trees therefore cost O(depth) per query
+        until something compresses them, but every answer stays exact.
     """
 
     def __init__(self, num_vertices: int, *, compress_every: int = 4096) -> None:
@@ -63,6 +70,24 @@ class IncrementalConnectivity:
         inc = cls(graph.num_vertices, **kwargs)
         src, dst = graph.undirected_edge_array()
         inc.add_edges(src, dst)
+        return inc
+
+    @classmethod
+    def from_labels(
+        cls, labels: np.ndarray, **kwargs
+    ) -> "IncrementalConnectivity":
+        """Adopt a solved labeling (any valid parent array) as the start.
+
+        ``labels`` must satisfy Invariant 1 (``pi[x] <= x``, acyclic) —
+        exactly what every engine finish produces — so a batch solve can
+        be promoted into a streaming structure without replaying edges.
+        The array is copied; the caller's labeling stays untouched.
+        """
+        parents = ParentArray(np.asarray(labels))  # copies
+        parents.check_invariant1()
+        inc = cls(int(labels.shape[0]), **kwargs)
+        inc._pi = parents.pi
+        inc._num_components = parents.num_trees()
         return inc
 
     # ------------------------------------------------------------------ #
@@ -141,6 +166,52 @@ class IncrementalConnectivity:
         """True if ``u`` and ``v`` are currently in the same component."""
         return self.find(u) == self.find(v)
 
+    def roots_of(self, vs: np.ndarray) -> np.ndarray:
+        """Component representatives of a vertex batch, vectorized.
+
+        Chases parent pointers for the whole batch at once (one gather
+        per surviving tree level), so the cost is O(batch · depth)
+        vectorized work rather than a Python loop over :meth:`find`
+        calls.  π is *not* mutated — the lazy self-compression stays on
+        the scalar :meth:`find` path — which keeps batch reads safe to
+        run against a structure another code path is inserting into.
+        """
+        vs = np.ascontiguousarray(vs, dtype=VERTEX_DTYPE)
+        self._check_batch(vs)
+        pi = self._pi
+        roots = pi[vs]
+        while True:
+            parents = pi[roots]
+            if np.array_equal(parents, roots):
+                return roots
+            roots = parents
+
+    def same_component_batch(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``connected``: one boolean per ``(us[i], vs[i])``."""
+        us = np.ascontiguousarray(us, dtype=VERTEX_DTYPE)
+        vs = np.ascontiguousarray(vs, dtype=VERTEX_DTYPE)
+        if us.shape != vs.shape:
+            raise ConfigurationError("us/vs must have equal length")
+        # One fused root chase over both endpoint batches: the per-level
+        # gather cost is paid once instead of twice.
+        roots = self.roots_of(np.concatenate([us, vs]))
+        return roots[: us.shape[0]] == roots[us.shape[0] :]
+
+    def component_sizes(self, vs: np.ndarray) -> np.ndarray:
+        """Current component size for each vertex in ``vs``.
+
+        Needs a full census, so this compresses π as a side effect
+        (like :meth:`labels`) and counts every component once; the
+        per-vertex lookup afterwards is a single gather.
+        """
+        vs = np.ascontiguousarray(vs, dtype=VERTEX_DTYPE)
+        self._check_batch(vs)
+        labels = self.labels()
+        counts = np.bincount(labels, minlength=self.num_vertices)
+        return counts[labels[vs]]
+
     def component_of(self, v: int) -> np.ndarray:
         """All vertices currently in ``v``'s component (O(n) scan)."""
         labels = self.labels()
@@ -159,4 +230,13 @@ class IncrementalConnectivity:
         if not 0 <= v < self.num_vertices:
             raise ConfigurationError(
                 f"vertex {v} out of range for {self.num_vertices}-vertex universe"
+            )
+
+    def _check_batch(self, vs: np.ndarray) -> None:
+        if vs.size and (
+            int(vs.min()) < 0 or int(vs.max()) >= self.num_vertices
+        ):
+            raise ConfigurationError(
+                f"vertex batch out of range for {self.num_vertices}-vertex"
+                " universe"
             )

@@ -1,0 +1,46 @@
+"""Connectivity-as-a-service: the long-lived query/update serving layer.
+
+The batch engine answers "what are the components of this graph?" once;
+this package answers "are these two vertices connected *right now*?"
+millions of times, while the graph keeps growing.  Three pieces:
+
+- :class:`ConnectivityService` (:mod:`repro.serve.service`) — solves a
+  graph once via :func:`repro.engine.run`, keeps a fully compressed
+  label array and a component-size census hot for O(1) reads, absorbs
+  edge-insertion streams through incremental link/compress, and
+  publishes immutable epoch :class:`Snapshot` views so readers never
+  observe torn labels;
+- :class:`ServiceCache` (:mod:`repro.serve.cache`) — an LRU cache of
+  solved states keyed by graph content fingerprint, so a multi-graph
+  front-end pays each batch solve once;
+- :class:`ConnectivityServer` (:mod:`repro.serve.server`) — the request
+  layer: a worker loop that coalesces queued queries into single
+  vectorized gathers, bounds the queue for backpressure
+  (:class:`BackpressureError`), shuts down gracefully, and emits
+  telemetry (per-batch spans, latency histograms, Prometheus text,
+  durable ``kind="serve"`` ledger records).
+
+Driven by ``repro serve`` on the CLI and measured by
+:mod:`repro.bench.serving` (throughput + p50/p95/p99 latency, with an
+oracle gate asserting every published epoch is bit-identical to a
+from-scratch batch re-solve).  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.cache import ServiceCache
+from repro.serve.server import (
+    BackpressureError,
+    ConnectivityServer,
+    ServerClosedError,
+)
+from repro.serve.service import ConnectivityService, Snapshot
+
+__all__ = [
+    "BackpressureError",
+    "ConnectivityServer",
+    "ConnectivityService",
+    "ServerClosedError",
+    "ServiceCache",
+    "Snapshot",
+]

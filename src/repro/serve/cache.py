@@ -1,0 +1,127 @@
+"""A keyed cache of solved serving states.
+
+A server that fronts many graphs should pay each graph's batch solve
+once.  :class:`ServiceCache` keys ready
+:class:`~repro.serve.service.ConnectivityService` instances by the
+graph's content fingerprint (:func:`repro.obs.ledger.fingerprint_graph`
+— vertex/edge counts plus a strided CSR digest) combined with the
+solve-relevant configuration (algorithm and re-compression policy), so
+the same topology arriving under two file names hits the same entry
+while a different plan or policy gets its own solved state.
+
+Eviction is LRU with a fixed capacity: serving labels are O(n) memory
+per graph, so the cache bounds resident state, and the eviction counter
+makes thrash visible in telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.graph.csr import CSRGraph
+from repro.obs.ledger import fingerprint_graph
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.service import ConnectivityService
+
+__all__ = ["ServiceCache"]
+
+
+class ServiceCache:
+    """LRU cache of :class:`ConnectivityService` keyed by graph identity.
+
+    ``capacity`` bounds resident solved states; ``metrics`` (optional,
+    shared) receives ``serve_cache_hits`` / ``serve_cache_misses`` /
+    ``serve_cache_evictions`` counters and a ``serve_cache_size`` gauge.
+    Keyword arguments to :meth:`get_or_create` beyond the graph are
+    forwarded to the service constructor and participate in the key.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, ConnectivityService] = OrderedDict()
+
+    @staticmethod
+    def key_for(
+        graph: CSRGraph,
+        *,
+        algorithm: str = "afforest",
+        recompress_every: int = 4096,
+        **_ignored: Any,
+    ) -> str:
+        """The cache key: content digest + solve-relevant configuration.
+
+        Backend and worker count are deliberately excluded — they change
+        how the initial solve executes, not what it produces (labelings
+        are bit-identical across backends), so they must not split the
+        cache.
+        """
+        fp = fingerprint_graph(graph)
+        return (
+            f"{fp['digest']}:{fp['vertices']}:{fp['edges']}"
+            f":{algorithm}:{recompress_every}"
+        )
+
+    def get_or_create(
+        self, graph: CSRGraph, **kwargs: Any
+    ) -> ConnectivityService:
+        """The cached service for ``graph`` (solving it on first sight)."""
+        key = self.key_for(graph, **kwargs)
+        with self._lock:
+            service = self._entries.get(key)
+            if service is not None:
+                self._entries.move_to_end(key)
+                self.metrics.counter("serve_cache_hits").inc()
+                return service
+        # Solve outside the lock: a cold miss on a big graph must not
+        # stall hits on already-resident graphs.
+        self.metrics.counter("serve_cache_misses").inc()
+        service = ConnectivityService(graph, **kwargs)
+        with self._lock:
+            # A racing miss may have landed the same key; latest wins
+            # (both are equivalent — solves are deterministic).
+            self._entries[key] = service
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.counter("serve_cache_evictions").inc()
+            self.metrics.gauge("serve_cache_size").set(len(self._entries))
+        return service
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counts and current size, for reports."""
+        counters = self.metrics.counters_snapshot()
+        return {
+            "hits": counters.get("serve_cache_hits", 0),
+            "misses": counters.get("serve_cache_misses", 0),
+            "evictions": counters.get("serve_cache_evictions", 0),
+            "size": len(self),
+        }
+
+    def clear(self) -> None:
+        """Drop every resident service."""
+        with self._lock:
+            self._entries.clear()
+            self.metrics.gauge("serve_cache_size").set(0)

@@ -129,6 +129,148 @@ class TestCompression:
         assert inc.num_components == 1
 
 
+class TestBatchQueries:
+    def _chain(self, n=40, compress_every=0):
+        inc = IncrementalConnectivity(n, compress_every=compress_every)
+        for i in range(n - 1):
+            # Insert high-to-low so the forest grows deep chains when
+            # periodic compression is off.
+            inc.add_edge(n - 1 - i, n - 2 - i)
+        return inc
+
+    def test_roots_of_matches_scalar_find(self):
+        inc = IncrementalConnectivity(20, compress_every=0)
+        inc.add_edges(
+            np.array([0, 2, 4, 0, 10]), np.array([1, 3, 5, 2, 11])
+        )
+        vs = np.arange(20)
+        roots = inc.roots_of(vs)
+        assert roots.tolist() == [inc.find(int(v)) for v in vs]
+
+    def test_roots_of_does_not_mutate_pi(self):
+        inc = self._chain()
+        before = inc._pi.copy()
+        inc.roots_of(np.arange(inc.num_vertices))
+        assert np.array_equal(inc._pi, before)
+
+    def test_same_component_batch(self):
+        inc = IncrementalConnectivity(10)
+        inc.add_edges(np.array([0, 1, 5]), np.array([1, 2, 6]))
+        us = np.array([0, 0, 5, 3])
+        vs = np.array([2, 5, 6, 3])
+        assert inc.same_component_batch(us, vs).tolist() == [
+            True, False, True, True,
+        ]
+
+    @pytest.mark.parametrize("compress_every", [0, 1, 4096])
+    def test_batch_matches_scalar_on_random_stream(self, compress_every):
+        rng = np.random.default_rng(11)
+        n = 60
+        inc = IncrementalConnectivity(n, compress_every=compress_every)
+        inc.add_edges(rng.integers(0, n, 80), rng.integers(0, n, 80))
+        us = rng.integers(0, n, 200)
+        vs = rng.integers(0, n, 200)
+        batch = inc.same_component_batch(us, vs)
+        scalar = [inc.connected(int(u), int(v)) for u, v in zip(us, vs)]
+        assert batch.tolist() == scalar
+
+    def test_component_sizes(self):
+        inc = IncrementalConnectivity(8)
+        inc.add_edges(np.array([0, 1, 4]), np.array([1, 2, 5]))
+        sizes = inc.component_sizes(np.array([0, 2, 4, 7]))
+        assert sizes.tolist() == [3, 3, 2, 1]
+
+    def test_component_sizes_compresses(self):
+        inc = self._chain()
+        inc.component_sizes(np.array([0]))
+        # The census path full-compresses as a documented side effect.
+        assert np.array_equal(inc._pi, np.zeros_like(inc._pi))
+
+    def test_batch_rejects_out_of_range(self):
+        inc = IncrementalConnectivity(4)
+        with pytest.raises(ConfigurationError):
+            inc.roots_of(np.array([0, 4]))
+        with pytest.raises(ConfigurationError):
+            inc.same_component_batch(np.array([-1]), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            inc.component_sizes(np.array([17]))
+
+    def test_batch_rejects_mismatched_lengths(self):
+        inc = IncrementalConnectivity(4)
+        with pytest.raises(ConfigurationError):
+            inc.same_component_batch(np.array([0]), np.array([1, 2]))
+
+    def test_empty_batches(self):
+        inc = IncrementalConnectivity(4)
+        empty = np.empty(0, dtype=np.int64)
+        assert inc.roots_of(empty).shape == (0,)
+        assert inc.same_component_batch(empty, empty).shape == (0,)
+        assert inc.component_sizes(empty).shape == (0,)
+
+
+class TestLazySelfCompression:
+    """The documented ``compress_every=0`` query paths stay exact."""
+
+    def test_deep_chain_queries_exact_without_compression(self):
+        n = 30
+        inc = IncrementalConnectivity(n, compress_every=0)
+        for i in range(n - 1, 0, -1):
+            inc.add_edge(i, i - 1)
+        # Batch reads answer exactly without touching π...
+        before = inc._pi.copy()
+        assert inc.same_component_batch(
+            np.array([0, n - 1]), np.array([n - 1, 0])
+        ).all()
+        assert np.array_equal(inc._pi, before)
+        # ...scalar find compresses exactly the walked chain...
+        root = inc.find(n - 1)
+        assert root == 0
+        assert inc._pi[n - 1] == 0
+        # ...and labels() still full-compresses.
+        assert np.array_equal(inc.labels(), np.zeros(n, dtype=inc._pi.dtype))
+
+    def test_lazy_matches_eager_labels(self):
+        rng = np.random.default_rng(23)
+        n = 80
+        lazy = IncrementalConnectivity(n, compress_every=0)
+        eager = IncrementalConnectivity(n, compress_every=8)
+        src, dst = rng.integers(0, n, 120), rng.integers(0, n, 120)
+        lazy.add_edges(src, dst)
+        eager.add_edges(src, dst)
+        assert np.array_equal(lazy.labels(), eager.labels())
+
+
+class TestFromLabels:
+    def test_adopts_solved_labeling(self):
+        import repro.engine as engine
+
+        g = uniform_random_graph(400, edge_factor=3, seed=4)
+        result = engine.run("afforest", g)
+        inc = IncrementalConnectivity.from_labels(result.labels)
+        assert inc.num_components == result.num_components
+        assert np.array_equal(inc.labels(), result.labels)
+
+    def test_copies_input(self):
+        labels = np.array([0, 0, 2, 2])
+        inc = IncrementalConnectivity.from_labels(labels)
+        inc.add_edge(1, 3)
+        assert labels.tolist() == [0, 0, 2, 2]
+
+    def test_stream_continues_from_adopted_state(self):
+        labels = np.array([0, 0, 2, 2, 4])
+        inc = IncrementalConnectivity.from_labels(labels)
+        assert inc.num_components == 3
+        assert inc.add_edge(1, 2)
+        assert inc.connected(0, 3)
+        assert inc.num_components == 2
+
+    def test_rejects_invalid_parent_array(self):
+        from repro.errors import InvariantViolationError
+
+        with pytest.raises(InvariantViolationError):
+            IncrementalConnectivity.from_labels(np.array([1, 2, 0]))
+
+
 class TestAgainstOracle:
     @given(
         st.integers(2, 25),

@@ -1,0 +1,80 @@
+"""Tests for the keyed service cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import uniform_random_graph
+from repro.serve import ServiceCache
+
+
+def _graph(seed, n=200):
+    return uniform_random_graph(n, edge_factor=3, seed=seed)
+
+
+class TestKeying:
+    def test_same_content_same_key(self):
+        assert ServiceCache.key_for(_graph(1)) == ServiceCache.key_for(_graph(1))
+
+    def test_different_content_different_key(self):
+        assert ServiceCache.key_for(_graph(1)) != ServiceCache.key_for(_graph(2))
+
+    def test_algorithm_and_policy_split_the_key(self):
+        g = _graph(3)
+        base = ServiceCache.key_for(g)
+        assert ServiceCache.key_for(g, algorithm="sv") != base
+        assert ServiceCache.key_for(g, recompress_every=8) != base
+
+    def test_backend_and_workers_do_not_split(self):
+        g = _graph(4)
+        assert ServiceCache.key_for(g, backend="process", workers=4) == (
+            ServiceCache.key_for(g)
+        )
+
+
+class TestCaching:
+    def test_hit_returns_same_instance(self):
+        cache = ServiceCache()
+        g = _graph(5)
+        a = cache.get_or_create(g)
+        b = cache.get_or_create(g)
+        assert a is b
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_hot_state_survives_across_lookups(self):
+        cache = ServiceCache()
+        g = _graph(6)
+        cache.get_or_create(g).add_edge(0, 1)
+        # A second lookup sees the absorbed stream, not a fresh solve.
+        assert cache.get_or_create(g).pending_updates == 1
+
+    def test_lru_eviction(self):
+        cache = ServiceCache(capacity=2)
+        a, b, c = _graph(7), _graph(8), _graph(9)
+        cache.get_or_create(a)
+        cache.get_or_create(b)
+        cache.get_or_create(a)  # refresh a's recency
+        cache.get_or_create(c)  # evicts b (least recently used)
+        assert ServiceCache.key_for(a) in cache
+        assert ServiceCache.key_for(b) not in cache
+        assert ServiceCache.key_for(c) in cache
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = ServiceCache()
+        cache.get_or_create(_graph(10))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ServiceCache(capacity=0)
+
+    def test_constructor_kwargs_forwarded(self):
+        cache = ServiceCache()
+        svc = cache.get_or_create(
+            _graph(11), algorithm="sv", recompress_every=7
+        )
+        assert svc.algorithm == "sv"
+        assert svc.recompress_every == 7

@@ -1,0 +1,243 @@
+"""Tests for the request layer: batching, backpressure, shutdown, ledger."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import uniform_random_graph
+from repro.obs.ledger import RunLedger
+from repro.serve import (
+    BackpressureError,
+    ConnectivityServer,
+    ConnectivityService,
+    ServerClosedError,
+)
+
+
+@pytest.fixture
+def service(two_cliques):
+    return ConnectivityService(two_cliques, recompress_every=1_000_000)
+
+
+def _stall(service, seconds=0.15):
+    """Make the worker's next size query slow, so submissions pile up."""
+    original = service.component_sizes
+    state = {"stalled": False}
+
+    def slow(vs):
+        if not state["stalled"]:
+            state["stalled"] = True
+            time.sleep(seconds)
+        return original(vs)
+
+    service.component_sizes = slow
+    return state
+
+
+class TestRequestPath:
+    def test_futures_resolve(self, service):
+        with ConnectivityServer(service) as server:
+            same = server.submit_same(np.array([0, 0]), np.array([3, 4]))
+            sizes = server.submit_sizes(np.array([1, 7]))
+            assert same.result(5).tolist() == [True, False]
+            assert sizes.result(5).tolist() == [4, 4]
+
+    def test_sync_helpers(self, service):
+        with ConnectivityServer(service) as server:
+            assert server.same_component(0, 1)
+            assert not server.same_component(0, 7)
+            assert server.component_size(5) == 4
+
+    def test_updates_ordered_with_refresh(self, service):
+        with ConnectivityServer(service) as server:
+            assert not server.same_component(0, 4)
+            server.submit_update(np.array([0]), np.array([4]))
+            epoch = server.submit_refresh().result(5)
+            assert epoch == 1
+            assert server.same_component(0, 4)
+
+    def test_error_propagates_and_loop_survives(self, service):
+        with ConnectivityServer(service) as server:
+            bad = server.submit_sizes(np.array([99]))
+            with pytest.raises(ConfigurationError):
+                bad.result(5)
+            # The loop is still serving after a failed request.
+            assert server.component_size(0) == 4
+            assert service.metrics.counters_snapshot()["serve_errors"] == 1
+
+    def test_coalescing_under_load(self, service):
+        _stall(service)
+        with ConnectivityServer(service, max_batch=64) as server:
+            server.submit_sizes(np.array([0]))  # stalls the loop
+            futures = [
+                server.submit_same(np.array([i % 8]), np.array([7]))
+                for i in range(20)
+            ]
+            for fut in futures:
+                fut.result(5)
+        counters = service.metrics.counters_snapshot()
+        # The 20 queued pair queries drained as contiguous runs answered
+        # by shared vectorized gathers, not 20 separate calls.
+        assert counters["serve_coalesced"] >= 20
+        assert counters["serve_batch_queries"] < 21
+
+    def test_results_split_per_request(self, service):
+        _stall(service)
+        with ConnectivityServer(service, max_batch=64) as server:
+            server.submit_sizes(np.array([0]))
+            a = server.submit_same(np.array([0, 1]), np.array([1, 4]))
+            b = server.submit_same(np.array([4]), np.array([5]))
+            assert a.result(5).tolist() == [True, False]
+            assert b.result(5).tolist() == [True]
+
+
+class TestFlowControl:
+    def test_backpressure_nonblocking(self, service):
+        _stall(service, 0.3)
+        with ConnectivityServer(service, max_queue=2) as server:
+            server.submit_sizes(np.array([0]))  # stalls the loop
+            time.sleep(0.05)  # let the worker pick it up and block
+            accepted, rejected = 0, 0
+            for _ in range(10):
+                try:
+                    server.submit_sizes(np.array([1]), block=False)
+                    accepted += 1
+                except BackpressureError:
+                    rejected += 1
+            assert rejected > 0
+            assert accepted <= 2
+        assert service.metrics.counters_snapshot()["serve_rejected"] == rejected
+
+    def test_submit_before_start_rejected(self, service):
+        server = ConnectivityServer(service)
+        with pytest.raises(ServerClosedError):
+            server.submit_same(np.array([0]), np.array([1]))
+
+    def test_stop_drains_accepted_requests(self, service):
+        server = ConnectivityServer(service).start()
+        futures = [
+            server.submit_same(np.array([0]), np.array([i % 8]))
+            for i in range(50)
+        ]
+        server.stop()
+        assert all(f.done() for f in futures)
+        assert all(f.exception() is None for f in futures)
+
+    def test_submit_after_stop_rejected(self, service):
+        server = ConnectivityServer(service).start()
+        server.stop()
+        with pytest.raises(ServerClosedError):
+            server.submit_refresh()
+        with pytest.raises(ServerClosedError):
+            server.start()  # a stopped server does not restart
+
+    def test_stop_idempotent(self, service, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        server = ConnectivityServer(service, record=str(ledger_path)).start()
+        server.same_component(0, 1)
+        first = server.stop()
+        assert first is not None
+        assert server.stop() is None  # no duplicate ledger record
+        assert len(RunLedger(ledger_path).records()) == 1
+
+    def test_rejects_bad_config(self, service):
+        with pytest.raises(ConfigurationError):
+            ConnectivityServer(service, max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ConnectivityServer(service, max_queue=0)
+
+
+class TestTelemetry:
+    def test_latency_and_batch_histograms(self, service):
+        with ConnectivityServer(service) as server:
+            for _ in range(5):
+                server.same_component(0, 1)
+        summaries = service.metrics.histogram_summaries()
+        assert summaries["serve_latency_us"]["count"] == 5
+        assert summaries["serve_batch_size"]["count"] >= 1
+
+    def test_trace_spans_per_batch(self, service):
+        server = ConnectivityServer(service, trace=True).start()
+        server.same_component(0, 1)
+        server.submit_update(np.array([0]), np.array([4]))
+        server.submit_refresh().result(5)
+        server.stop()
+        trace = server.tracer.finish()
+        batch_spans = [s for s in trace.spans if s.label == "batch"]
+        assert batch_spans
+        assert all("epoch" in s.attrs for s in batch_spans)
+
+    def test_trace_span_cap(self, service):
+        server = ConnectivityServer(
+            service, trace=True, max_trace_spans=2
+        ).start()
+        for _ in range(6):
+            server.same_component(0, 1)
+        server.stop()
+        trace = server.tracer.finish()
+        assert len([s for s in trace.spans if s.label == "batch"]) <= 2
+        counters = service.metrics.counters_snapshot()
+        assert counters["serve_trace_spans_dropped"] >= 1
+
+
+class TestLedgerIntegration:
+    def test_session_record_shape(self, service):
+        server = ConnectivityServer(service).start()
+        server.same_component(0, 1)
+        server.submit_update(np.array([0]), np.array([4]))
+        server.submit_refresh().result(5)
+        server.stop()
+        record = server.session_record(workload="unit-test")
+        assert record.kind == "serve"
+        assert record.algorithm == "afforest"
+        assert record.graph["vertices"] == 8
+        assert record.seconds > 0
+        assert record.counters["serve_requests"] == 3
+        assert record.meta["epochs"] == 1
+        assert record.meta["workload"] == "unit-test"
+
+    def test_sessions_append_to_ledger(self, two_cliques, tmp_path):
+        ledger_path = tmp_path / "serve.jsonl"
+        for _ in range(2):
+            svc = ConnectivityService(two_cliques)
+            with ConnectivityServer(svc, record=str(ledger_path)) as server:
+                server.same_component(0, 1)
+        records = RunLedger(ledger_path).records()
+        assert len(records) == 2
+        assert all(r.kind == "serve" for r in records)
+        assert records[0].run_id != records[1].run_id
+
+    def test_run_id_surfaces_after_stop(self, service, tmp_path):
+        ledger_path = tmp_path / "serve.jsonl"
+        server = ConnectivityServer(service, record=str(ledger_path)).start()
+        server.same_component(0, 1)
+        record = server.stop()
+        assert server.run_id == record.run_id
+        assert RunLedger(ledger_path).resolve(record.run_id).kind == "serve"
+
+
+class TestEndToEndConsistency:
+    def test_mixed_stream_bit_identical_to_resolve(self):
+        graph = uniform_random_graph(400, num_edges=500, seed=3)
+        captured = []
+        svc = ConnectivityService(
+            graph,
+            recompress_every=128,
+            on_epoch=lambda s: captured.append((s.edges_applied, s.labels)),
+        )
+        captured.append((0, svc.snapshot.labels))
+        rng = np.random.default_rng(4)
+        with ConnectivityServer(svc, max_batch=16) as server:
+            for _ in range(30):
+                server.submit_same(
+                    rng.integers(0, 400, 8), rng.integers(0, 400, 8)
+                )
+                server.submit_update(
+                    rng.integers(0, 400, 20), rng.integers(0, 400, 20)
+                )
+            server.submit_refresh().result(10)
+        assert len(captured) >= 3
+        for applied, labels in captured:
+            assert np.array_equal(labels, svc.batch_resolve(applied))

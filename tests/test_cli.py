@@ -300,6 +300,74 @@ class TestConvert:
         assert load_graph(out).num_edges > 0
 
 
+class TestServe:
+    """The ``repro serve`` serving-layer subcommand."""
+
+    SERVE = ["serve", "--requests", "30", "--recompress-every", "64"]
+
+    def test_serves_and_reports(self, graph_file, capsys):
+        assert main(self.SERVE + [graph_file]) == 0
+        out = capsys.readouterr().out
+        assert f"served {graph_file}: afforest" in out
+        assert "throughput" in out
+        assert "p50" in out and "p99" in out
+        assert "bit-identical to batch re-solve" in out
+
+    def test_writes_report_and_prometheus(self, graph_file, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        prom_path = tmp_path / "serve.prom"
+        assert main(
+            self.SERVE
+            + [graph_file, "--output", str(report_path),
+               "--prom-out", str(prom_path)]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        assert report["failures"] == 0
+        record = report["records"][0]
+        assert record["dataset"] == graph_file
+        assert record["matches_oracle"] is True
+        assert "# TYPE" in prom_path.read_text()
+
+    def test_no_oracle_skips_verdict(self, graph_file, capsys):
+        assert main(self.SERVE + [graph_file, "--no-oracle"]) == 0
+        assert "batch re-solve" not in capsys.readouterr().out
+
+    def test_ledger_and_obs_roundtrip(self, graph_file, tmp_path, capsys):
+        ledger = str(tmp_path / "serve_ledger.jsonl")
+        assert main(self.SERVE + [graph_file, "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["obs", "runs", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "1 record(s)" in out
+        assert main(["obs", "show", "latest", "--ledger", ledger]) == 0
+        assert "afforest" in capsys.readouterr().out
+
+    def test_serving_reports_diff(self, graph_file, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path, seed in ((a, "1"), (b, "2")):
+            assert main(
+                ["--seed", seed] + self.SERVE
+                + [graph_file, "--output", str(path)]
+            ) == 0
+        assert json.loads(a.read_text())["records"][0]["requests"] == 31
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert graph_file in capsys.readouterr().out
+
+    def test_plan_spec(self, graph_file, capsys):
+        assert main(self.SERVE + [graph_file, "-a", "kout+sv"]) == 0
+        assert "kout+sv" in capsys.readouterr().out
+
+    def test_dataset_spec(self, capsys):
+        assert main(self.SERVE + ["dataset:urand:tiny"]) == 0
+        assert "served dataset:urand:tiny" in capsys.readouterr().out
+
+
 class TestObs:
     """The ``repro obs`` family: runs, show, diff, watch."""
 

@@ -18,7 +18,13 @@ EXPECTED_SNIPPETS = {
     "sampling_strategies.py": ["linkage by % of edges", "neighbour rounds"],
     "simulated_machine_tour.py": ["afforest phases", "modeled scaling"],
     "distributed_components.py": ["merge_rounds", "traffic vs density"],
-    "streaming_connectivity.py": ["edges_seen", "merges"],
+    "streaming_connectivity.py": [
+        "edges_seen",
+        "merges",
+        "serving layer",
+        "epochs published",
+        "identical to batch re-solve? True",
+    ],
 }
 
 
