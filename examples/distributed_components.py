@@ -1,12 +1,15 @@
 """Distributed-memory connected components (the paper's future work).
 
-Demonstrates the forest-reduction algorithm built on the paper's
-subgraph-processing property: each simulated rank runs the Afforest core
-on its edge partition, then forests merge up a binary tree — another
-rank's parent array is just one more subgraph to ``link``.
+Demonstrates the engine's distributed substrate: edges are sharded
+across simulated ranks and every plan runs as BSP supersteps that
+exchange only changed-label deltas (index+value pairs, switching to
+bitmap or dense encodings as density grows — see docs/distributed.md).
+The backend reports merge_rounds-style superstep counts and meters every
+byte per rank pair, so the communication behaviour is measurable.
 
 Shows the property that makes the distributed extension attractive:
-communication volume is O(|V| log R), *independent of |E|*.
+traffic tracks the labels that *changed* (O(n)-ish per solve), not the
+edge count, and stays far below shipping whole parent arrays around.
 
 Run:  python examples/distributed_components.py
 """
@@ -16,12 +19,16 @@ from __future__ import annotations
 import numpy as np
 
 import repro
-from repro.distributed import (
-    distributed_components,
-    partition_edges_block,
-    partition_edges_hash,
-)
+from repro import engine
+from repro.engine.backends import DistributedBackend
 from repro.generators import uniform_random_graph
+
+
+def solve(graph, ranks: int, partition: str = "hash"):
+    """One delta-exchange fastsv solve; returns (labels, comm stats)."""
+    backend = DistributedBackend(ranks=ranks, partition=partition)
+    result = engine.run(graph, plan="none+fastsv", backend=backend)
+    return result.labels, backend.comm.stats
 
 
 def main() -> None:
@@ -32,47 +39,49 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------ #
-    # 1. World sizes: exactness everywhere, log-depth reduction tree.
+    # 1. World sizes: exactness everywhere, bounded superstep counts.
     # ------------------------------------------------------------------ #
-    print(f"{'ranks':>6} {'merge_rounds':>13} {'traffic_MB':>11} {'bytes/vertex':>13} {'exact':>6}")
+    print(
+        f"{'ranks':>6} {'merge_rounds':>13} {'traffic_MB':>11} "
+        f"{'bytes/vertex':>13} {'exact':>6}"
+    )
     for ranks in (1, 2, 4, 8, 16):
-        result = distributed_components(graph, ranks)
+        labels, stats = solve(graph, ranks)
         exact = bool(
             np.array_equal(
-                repro.analysis.canonical_labels(result.labels),
+                repro.analysis.canonical_labels(labels),
                 repro.analysis.canonical_labels(reference),
             )
         )
+        per_vertex = stats.bytes_sent / graph.num_vertices
         print(
-            f"{ranks:>6} {result.merge_rounds:>13} "
-            f"{result.comm_stats.bytes_sent / 1e6:>11.2f} "
-            f"{result.bytes_per_vertex:>13.1f} {str(exact):>6}"
+            f"{ranks:>6} {stats.supersteps:>13} "
+            f"{stats.bytes_sent / 1e6:>11.2f} "
+            f"{per_vertex:>13.1f} {str(exact):>6}"
         )
 
     # ------------------------------------------------------------------ #
-    # 2. Traffic is independent of edge density.
+    # 2. Traffic tracks label churn, not edge density.
     # ------------------------------------------------------------------ #
     print("\ntraffic vs density (8 ranks):")
     for ef in (4, 16, 64):
         g = uniform_random_graph(1 << 13, edge_factor=ef, seed=1)
-        result = distributed_components(g, 8)
+        _, stats = solve(g, 8)
         print(
             f"  edge_factor {ef:>3}: {g.num_edges:>8} edges -> "
-            f"{result.comm_stats.bytes_sent / 1e6:.2f} MB moved"
+            f"{stats.bytes_sent / 1e6:.2f} MB moved"
         )
 
     # ------------------------------------------------------------------ #
-    # 3. Partitioner comparison: hash partitioning balances rank work.
+    # 3. Partition modes: hash sharding balances per-rank edge work.
     # ------------------------------------------------------------------ #
-    print("\npartitioner balance (8 ranks, edges per rank):")
-    for name, partitioner in (
-        ("block", partition_edges_block),
-        ("hash", partition_edges_hash),
-    ):
-        result = distributed_components(graph, 8, partitioner=partitioner)
-        counts = result.local_edges_per_rank
+    print("\npartition balance (8 ranks, directed edges per rank):")
+    for mode in ("block", "hash"):
+        backend = DistributedBackend(ranks=8, partition=mode)
+        engine.run(graph, plan="none+fastsv", backend=backend)
+        counts = backend.shard_sizes(graph)
         print(
-            f"  {name:>5}: min {min(counts)}, max {max(counts)}, "
+            f"  {mode:>5}: min {min(counts)}, max {max(counts)}, "
             f"imbalance {max(counts) / max(min(counts), 1):.2f}"
         )
 

@@ -1,0 +1,211 @@
+"""Distributed traffic benchmark: ``python -m repro.bench.dist_traffic``.
+
+Measures the delta-exchange substrate's communication volume as a
+function of world size: a ``fastsv`` solve of the powerlaw smoke graph
+on :class:`~repro.engine.backends.DistributedBackend` at each requested
+rank count, recording total and per-rank bytes, message and superstep
+counts, and bytes per vertex.
+
+Two gates make the job meaningful in CI:
+
+- **analytic bound** (always on): the busiest rank must stay *strictly
+  below* ``8n(R - 1)`` bytes — what the old ``dist_cc`` forest reduction
+  paid when every rank shipped its whole int64 parent array to each
+  peer.  A protocol change that regresses past whole-array shipping
+  fails the job outright.
+- **baseline compare** (``--baseline BENCH_dist_traffic.json``): the
+  simulated communicator is deterministic, so recorded byte counts are
+  exactly reproducible; drift against the committed baseline is
+  reported, and with ``--fail-threshold`` a ratio above it fails the
+  run.
+
+Labels are checked bit-identical to a vectorized solve at every rank
+count, so the traffic numbers can never come from a broken exchange.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+
+from repro import engine
+from repro.engine.backends import DistributedBackend
+from repro.generators.powerlaw import barabasi_albert_graph
+
+__all__ = ["run_traffic", "compare_against_baseline", "main"]
+
+#: the powerlaw smoke graph (same build as ``bench.smoke``): skewed
+#: degrees make the early dense rounds a worst case for delta shipping.
+GRAPH_SPEC = {"vertices": 5000, "edges_per_vertex": 4, "seed": 7}
+
+DEFAULT_RANKS = (2, 4, 8)
+
+#: the solve whose traffic is recorded — FastSV is the plan the
+#: delta-exchange protocol was designed around (PAPERS.md, Zhang et al.).
+PLAN = "none+fastsv"
+
+
+def _build_graph():
+    return barabasi_albert_graph(
+        GRAPH_SPEC["vertices"],
+        edges_per_vertex=GRAPH_SPEC["edges_per_vertex"],
+        seed=GRAPH_SPEC["seed"],
+    )
+
+
+def run_traffic(ranks_list: tuple[int, ...] = DEFAULT_RANKS) -> tuple[dict, int]:
+    """Run the traffic curve; returns ``(report, num_failures)``."""
+    graph = _build_graph()
+    n = graph.num_vertices
+    reference = engine.run(graph, plan=PLAN, backend="vectorized").labels
+
+    records: list[dict] = []
+    failures = 0
+    for ranks in ranks_list:
+        backend = DistributedBackend(ranks=ranks)
+        result = engine.run(graph, plan=PLAN, backend=backend)
+        stats = backend.comm.stats
+        per_rank = stats.sent_by_rank(ranks)
+        bound = 8 * n * (ranks - 1)
+        max_rank_bytes = max(per_rank) if per_rank else 0
+        identical = bool(np.array_equal(result.labels, reference))
+        under_bound = ranks == 1 or max_rank_bytes < bound
+        ok = identical and under_bound
+        failures += not ok
+        records.append(
+            {
+                "dataset": f"powerlaw-{n // 1000}k",
+                "algorithm": PLAN,
+                "backend": "distributed",
+                "ranks": ranks,
+                "bytes_sent": stats.bytes_sent,
+                "bytes_per_rank": list(per_rank),
+                "max_rank_bytes": max_rank_bytes,
+                "reduction_baseline_bytes": bound,
+                "bytes_per_vertex": stats.bytes_sent / n,
+                "messages": stats.messages,
+                "supersteps": stats.supersteps,
+                "bit_identical": identical,
+                "under_reduction_baseline": under_bound,
+            }
+        )
+        status = "ok" if ok else (
+            "LABEL MISMATCH" if not identical else "OVER BASELINE"
+        )
+        print(
+            f"ranks={ranks:<2} max/rank {max_rank_bytes:>8} B "
+            f"(bound {bound:>8} B)  total {stats.bytes_sent:>8} B  "
+            f"msgs={stats.messages:<5} steps={stats.supersteps:<4} {status}"
+        )
+    report = {
+        "kind": "dist_traffic",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "graph": dict(GRAPH_SPEC),
+        "failures": failures,
+        "records": records,
+    }
+    return report, failures
+
+
+def compare_against_baseline(
+    report: dict,
+    baseline: dict,
+    *,
+    fail_threshold: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` against a committed traffic report.
+
+    Byte counts are deterministic, so any movement is protocol drift
+    worth a note; a per-rank maximum above ``fail_threshold`` times its
+    baseline value is a failure.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    current = {r["ranks"]: r for r in report.get("records", [])}
+    for rec in baseline.get("records", []):
+        now = current.get(rec["ranks"])
+        label = f"ranks={rec['ranks']}"
+        if now is None:
+            failures.append(f"{label}: present in baseline, missing here")
+            continue
+        base_max = rec.get("max_rank_bytes", 0)
+        now_max = now.get("max_rank_bytes", 0)
+        if base_max and now_max != base_max:
+            ratio = now_max / base_max
+            if fail_threshold is not None and ratio > fail_threshold:
+                failures.append(
+                    f"{label}: max per-rank bytes {base_max} -> {now_max} "
+                    f"({ratio:.2f}x > {fail_threshold:.2f}x threshold)"
+                )
+            else:
+                notes.append(
+                    f"{label}: max per-rank bytes {base_max} -> {now_max} "
+                    f"({ratio:.2f}x)"
+                )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (non-zero on gate failure)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.dist_traffic",
+        description="delta-exchange traffic-vs-ranks benchmark and gate",
+    )
+    parser.add_argument(
+        "--ranks",
+        default=",".join(str(r) for r in DEFAULT_RANKS),
+        help="comma-separated world sizes (default: 2,4,8)",
+    )
+    parser.add_argument("--output", help="write the JSON report to this path")
+    parser.add_argument(
+        "--baseline",
+        help="compare against this committed report "
+        "(e.g. BENCH_dist_traffic.json)",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail when a rank count's max per-rank bytes exceed RATIO "
+        "times the baseline value",
+    )
+    args = parser.parse_args(argv)
+    ranks_list = tuple(int(tok) for tok in args.ranks.split(",") if tok)
+    report, failures = run_traffic(ranks_list)
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 1
+        regressions, notes = compare_against_baseline(
+            report, baseline, fail_threshold=args.fail_threshold
+        )
+        for note in notes:
+            print(f"baseline: {note}")
+        for line in regressions:
+            print(f"error: baseline regression: {line}", file=sys.stderr)
+        failures += len(regressions)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.output}")
+    if failures:
+        print(
+            f"error: {failures} rank configuration(s) failed the traffic "
+            "or identity gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -3,11 +3,12 @@
 A deliberately small, fast benchmark meant for continuous integration:
 it times the hooking finishes (Afforest, Shiloach–Vishkin, FastSV) and
 two frontier pipelines (data-driven label propagation, BFS-CC) on a
-power-law and a lattice graph, on both the vectorized and the process
-backend, and validates every labeling against the sequential union-find
-oracle.  Any disagreement with the oracle is a hard failure (non-zero
-exit), so the job doubles as an end-to-end correctness gate for the
-process backend's shared-memory path.  Records carry the optimization
+power-law and a lattice graph, on the vectorized, process, and
+distributed (delta-exchange supersteps, ranks=2) backends, and validates
+every labeling against the sequential union-find oracle.  Any
+disagreement with the oracle is a hard failure (non-zero exit), so the
+job doubles as an end-to-end correctness gate for the process backend's
+shared-memory path and the distributed backend's exchange protocol.  Records carry the optimization
 observables (iteration counts, ``rounds_skipped``, ``bytes_allocated``,
 ``fused_passes``) next to the timings.
 
@@ -66,7 +67,11 @@ SMOKE_GRAPHS: tuple[tuple[str, Callable[[], CSRGraph]], ...] = (
 SMOKE_ALGORITHMS = (
     "afforest", "sv", "fastsv", "lp-datadriven", "bfs", "kout+sv", "auto",
 )
-SMOKE_BACKENDS = ("vectorized", "process")
+SMOKE_BACKENDS = ("vectorized", "process", "distributed")
+
+#: world size for the distributed smoke rows (small on purpose: two
+#: ranks already exercise the full exchange protocol).
+SMOKE_RANKS = 2
 
 #: Profiled-sample counters promoted to report columns (the allocation /
 #: round-skip observables of the hot-path optimization pass).
@@ -89,6 +94,7 @@ def run_smoke(
     *,
     repeats: int = 5,
     workers: int = 2,
+    ranks: int = SMOKE_RANKS,
     scaling: bool = False,
     ledger: str | None = None,
 ) -> tuple[dict, int]:
@@ -108,7 +114,7 @@ def run_smoke(
         oracle_canon = _canonical(oracle)
         for algorithm in SMOKE_ALGORITHMS:
             for kind in SMOKE_BACKENDS:
-                backend = make_backend(kind, workers=workers)
+                backend = make_backend(kind, workers=workers, ranks=ranks)
                 try:
                     rec = run_algorithm(
                         graph,
@@ -172,6 +178,7 @@ def run_smoke(
         "machine": platform.machine(),
         "repeats": repeats,
         "workers": workers,
+        "ranks": ranks,
         "failures": failures,
         "records": records,
     }
@@ -427,6 +434,12 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=2, help="process-backend worker count"
     )
     parser.add_argument(
+        "--ranks",
+        type=int,
+        default=SMOKE_RANKS,
+        help="distributed-backend world size (default: 2)",
+    )
+    parser.add_argument(
         "--scaling",
         action="store_true",
         help="also record a 1/2/4-worker scaling curve per graph",
@@ -455,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
         report, failures = run_smoke(
             repeats=args.repeats,
             workers=args.workers,
+            ranks=args.ranks,
             scaling=args.scaling,
             ledger=args.ledger,
         )

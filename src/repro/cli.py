@@ -137,6 +137,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args.graph, args.seed)
     backend = make_backend(
         args.backend, workers=args.workers,
+        ranks=getattr(args, "ranks", None),
         label_dtype=getattr(args, "label_dtype", "auto"),
     )
     try:
@@ -218,10 +219,16 @@ def _check_plans(args: argparse.Namespace) -> int:
     np.minimum.at(mins, comp, np.arange(n, dtype=np.int64))
     expected = mins[comp]
 
+    kinds = PLAN_BACKENDS
+    if getattr(args, "backend", None):
+        kinds = tuple(k for k in kinds if k == args.backend)
+
     failures = []
     checked = 0
-    for kind in PLAN_BACKENDS:
-        backend = make_backend(kind, workers=args.workers)
+    for kind in kinds:
+        backend = make_backend(
+            kind, workers=args.workers, ranks=getattr(args, "ranks", None)
+        )
         try:
             for plan_name in available_plans():
                 checked += 1
@@ -285,6 +292,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args.graph, args.seed)
     backend = make_backend(
         args.backend, workers=args.workers,
+        ranks=getattr(args, "ranks", None),
         label_dtype=getattr(args, "label_dtype", "auto"),
     )
     try:
@@ -685,6 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: one per core, capped at 8)",
         )
         p.add_argument(
+            "--ranks",
+            type=int,
+            default=None,
+            help="world size for the distributed backend (default: 4)",
+        )
+        p.add_argument(
             "--label-dtype",
             choices=LABEL_DTYPE_POLICIES,
             default="auto",
@@ -768,6 +782,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for the simulated/process backends during "
         "--check",
+    )
+    p.add_argument(
+        "--backend",
+        choices=backend_kinds(),
+        default=None,
+        help="restrict --check to one backend (default: all)",
+    )
+    p.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        help="world size for the distributed backend during --check "
+        "(default: 4)",
     )
     p.set_defaults(fn=_cmd_plans)
 

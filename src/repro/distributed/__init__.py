@@ -1,33 +1,44 @@
-"""Distributed-memory Afforest (the paper's first future-work direction).
+"""Distributed-memory substrate (the paper's first future-work direction).
 
 The conclusions propose "generaliz[ing] the algorithm to distributed
-memory environments".  This subpackage builds that generalisation on a
-simulated message-passing substrate:
+memory environments".  This subpackage holds the message-passing layer
+that generalisation is built on; the algorithmic half now lives in the
+engine as :class:`repro.engine.backends.DistributedBackend`, which runs
+every composed sampling × finish plan as BSP delta-exchange supersteps
+(see ``docs/distributed.md``):
 
 - :mod:`~repro.distributed.comm` — a BSP-style simulated communicator:
   ranks hold private state, exchange messages in supersteps, and every
-  byte moved is accounted (the distributed analogue of the shared-memory
-  machine's operation counters);
-- :mod:`~repro.distributed.partition` — 1-D edge partitioners (block and
-  hash) over the ranks;
-- :mod:`~repro.distributed.dist_cc` — the algorithm: each rank runs the
-  Afforest core (link + compress) over its edge partition to produce a
-  local parent forest, then forests merge up a reduction tree — merging
-  two parent arrays is itself a ``link_batch`` over the pairs
-  ``(v, other_pi[v])``, a direct application of the paper's subgraph-
-  processing property (Sec. III-B: the "edges" of another rank's forest
-  are just one more subgraph).
+  byte moved is accounted per rank pair and per superstep (the
+  distributed analogue of the shared-memory machine's operation
+  counters), with the collective shapes the backend's exchanges use
+  (``alltoallv``, ``bcast_all``, ``allreduce_any``);
+- :mod:`~repro.distributed.partition` — 1-D partitioners over ranks:
+  block/hash edge splits plus the ``block_bounds`` / ``hash_owners``
+  ownership maps shared with the backend's sharding;
+- :mod:`~repro.distributed.dist_cc` — the original standalone
+  forest-reduction algorithm, demoted to a deprecated shim over
+  ``engine.run(backend=DistributedBackend(...))``; its
+  :func:`~repro.distributed.dist_cc.merge_forest` subgraph-property
+  merge (Sec. III-B) survives as a documented primitive.
 """
 
 from repro.distributed.comm import CommStats, SimulatedComm
 from repro.distributed.dist_cc import DistCCResult, distributed_components
-from repro.distributed.partition import partition_edges_block, partition_edges_hash
+from repro.distributed.partition import (
+    block_bounds,
+    hash_owners,
+    partition_edges_block,
+    partition_edges_hash,
+)
 
 __all__ = [
     "CommStats",
     "SimulatedComm",
     "DistCCResult",
     "distributed_components",
+    "block_bounds",
+    "hash_owners",
     "partition_edges_block",
     "partition_edges_hash",
 ]

@@ -1,28 +1,31 @@
-"""Distributed connected components via forest reduction.
+"""Distributed connected components — deprecated shim.
 
-The algorithm (each rank ``r`` of ``R``, on the simulated communicator):
+The original module implemented a standalone forest-reduction algorithm
+(rank-local Afforest, binary-tree merge, broadcast).  That algorithm has
+been superseded by the engine's first-class distributed substrate:
+:class:`repro.engine.backends.DistributedBackend` runs every composed
+sampling × finish plan as BSP supersteps that exchange only changed-label
+deltas — strictly less traffic than shipping whole parent arrays up a
+reduction tree (see ``docs/distributed.md``).
 
-1. **local phase** — run the Afforest core over the rank's edge partition:
-   ``link_batch`` every local edge into a private parent array ``pi_r``,
-   then ``compress_all``.  No communication.
-2. **reduction phase** — ``ceil(log2 R)`` supersteps.  In step ``k``, rank
-   ``r + 2**k`` sends its (compressed) parent array to rank ``r`` (for
-   ``r`` multiple of ``2**(k+1)``); the receiver *merges* the incoming
-   forest by treating it as one more edge subgraph — ``link_batch(pi_r,
-   v, incoming[v])`` for all ``v`` — exactly the subgraph-processing
-   property of Sec. III-B.  A compress follows each merge.
-3. **broadcast** — rank 0 holds the exact global labeling and broadcasts.
+:func:`distributed_components` survives as a thin deprecated shim over
+``engine.run(backend=DistributedBackend(...))`` so existing callers keep
+working; prefer the engine call in new code::
 
-Communication: each rank array is ``8n`` bytes, so total traffic is
-``8n(R - 1)`` bytes up the tree plus the broadcast — O(|V| log R) time on
-a tree network, independent of |E|.  The merge is correct because a
-parent array *is* a connectivity-preserving subgraph of its inputs
-(every tree edge ``(v, pi[v])`` was created by links over real edges),
-so merging forests merges exactly the connectivity information.
+    from repro import engine
+    from repro.engine.backends import DistributedBackend
+
+    result = engine.run(g, plan="none+fastsv",
+                        backend=DistributedBackend(ranks=4))
+
+:func:`merge_forest` — the subgraph-property merge at the heart of the old
+reduction (a parent array *is* a connectivity-preserving subgraph of the
+edges that built it) — is kept as a documented standalone primitive.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,14 +34,22 @@ from repro.constants import VERTEX_DTYPE
 from repro.core.compress import compress_all
 from repro.core.link import link_batch
 from repro.distributed.comm import CommStats, SimulatedComm
-from repro.distributed.partition import partition_edges_hash
+from repro.distributed.partition import (
+    partition_edges_block,
+    partition_edges_hash,
+)
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 
 
 @dataclass
 class DistCCResult:
-    """Outcome of a distributed CC run."""
+    """Outcome of a distributed CC run.
+
+    ``merge_rounds`` historically counted binary-tree reduction rounds;
+    under the delta-exchange substrate it reports the number of
+    communicator supersteps the solve used (0 on a single rank).
+    """
 
     labels: np.ndarray
     num_ranks: int
@@ -52,7 +63,7 @@ class DistCCResult:
 
     @property
     def bytes_per_vertex(self) -> float:
-        """Total traffic normalised by |V| — the O(log R) constant."""
+        """Total traffic normalised by |V|."""
         n = self.labels.shape[0]
         return self.comm_stats.bytes_sent / n if n else 0.0
 
@@ -80,6 +91,12 @@ def distributed_components(
 ) -> DistCCResult:
     """Exact CC labels computed across ``num_ranks`` simulated ranks.
 
+    .. deprecated:: 1.3
+        Thin shim over
+        ``engine.run(backend=DistributedBackend(ranks=num_ranks))``;
+        prefer the engine call in new code — it exposes the full plan
+        space, telemetry, and the run ledger.
+
     Parameters
     ----------
     graph:
@@ -87,58 +104,38 @@ def distributed_components(
     num_ranks:
         World size ``R``.
     partitioner:
-        ``f(graph, num_ranks) -> [(src, dst), ...]`` edge partitioner.
+        ``partition_edges_block`` selects contiguous block sharding,
+        anything else (the default hash partitioner) hashed sharding;
+        also used to report the legacy per-rank undirected edge counts.
     comm:
         Optionally supply a communicator (e.g. to share accounting across
         several runs); a fresh one is created otherwise.
     """
-    if comm is None:
-        comm = SimulatedComm(num_ranks)
-    elif comm.num_ranks != num_ranks:
-        raise ConfigurationError(
-            f"communicator has {comm.num_ranks} ranks, expected {num_ranks}"
-        )
-    n = graph.num_vertices
+    warnings.warn(
+        "distributed_components() is deprecated; use "
+        "engine.run(backend=DistributedBackend(ranks=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported lazily: the engine imports this package for the backend's
+    # comm/partition helpers, so a module-level import would be circular.
+    from repro import engine
+    from repro.engine.backends import DistributedBackend
+
+    mode = "block" if partitioner is partition_edges_block else "hash"
+    backend = DistributedBackend(ranks=num_ranks, partition=mode, comm=comm)
     parts = partitioner(graph, num_ranks)
     if len(parts) != num_ranks:
         raise ConfigurationError(
-            f"partitioner returned {len(parts)} parts for {num_ranks} ranks"
+            f"partitioner returned {len(parts)} shards for {num_ranks} ranks"
         )
-
-    # Phase 1: rank-local Afforest core.
-    forests: list[np.ndarray | None] = []
-    local_edges = []
-    for src, dst in parts:
-        pi = np.arange(n, dtype=VERTEX_DTYPE)
-        link_batch(pi, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))
-        compress_all(pi)
-        forests.append(pi)
-        local_edges.append(int(src.shape[0]))
-
-    # Phase 2: binary-tree reduction of forests.
-    rounds = 0
-    stride = 1
-    while stride < num_ranks:
-        rounds += 1
-        for receiver in range(0, num_ranks, 2 * stride):
-            sender = receiver + stride
-            if sender < num_ranks:
-                comm.send(sender, receiver, forests[sender])
-        comm.step()
-        for receiver in range(0, num_ranks, 2 * stride):
-            sender = receiver + stride
-            if sender < num_ranks:
-                incoming = comm.recv(receiver, src=sender)
-                merge_forest(forests[receiver], incoming)
-                forests[sender] = None  # sender's memory released
-        stride *= 2
-
-    # Phase 3: broadcast the exact labeling.
-    final = comm.broadcast(0, forests[0])
+    local_edges = [int(src.shape[0]) for src, _ in parts]
+    steps_before = backend.comm.stats.supersteps
+    result = engine.run(graph, plan="none+fastsv", backend=backend)
     return DistCCResult(
-        labels=final[0],
+        labels=result.labels,
         num_ranks=num_ranks,
-        comm_stats=comm.stats,
+        comm_stats=backend.comm.stats,
         local_edges_per_rank=local_edges,
-        merge_rounds=rounds,
+        merge_rounds=backend.comm.stats.supersteps - steps_before,
     )

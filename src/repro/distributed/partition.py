@@ -18,6 +18,27 @@ def _check(num_ranks: int) -> None:
         raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks}")
 
 
+def block_bounds(total: int, num_ranks: int) -> np.ndarray:
+    """Even 1-D block boundaries: ``num_ranks + 1`` cut points over
+    ``[0, total)``.  Used both for contiguous edge blocks and for the
+    vertex-ownership map of the delta-exchange supersteps."""
+    _check(num_ranks)
+    return np.linspace(0, total, num_ranks + 1).astype(np.int64)
+
+
+def hash_owners(
+    total: int, num_ranks: int, *, seed: int = 0
+) -> np.ndarray:
+    """Pseudo-random owner rank per flat position (hash of the id).
+
+    The shared owner-assignment of :func:`partition_edges_hash` and the
+    ``DistributedBackend``'s hash sharding mode — one seeded draw, so the
+    two layers agree on which rank holds which edge."""
+    _check(num_ranks)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_ranks, size=total)
+
+
 def partition_edges_block(
     graph: CSRGraph, num_ranks: int
 ) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -27,9 +48,8 @@ def partition_edges_block(
     row-block partitioning, and like it (Fig. 6) the weaker choice for
     early convergence; included as the baseline partitioner.
     """
-    _check(num_ranks)
     src, dst = graph.undirected_edge_array()
-    bounds = np.linspace(0, src.shape[0], num_ranks + 1).astype(np.int64)
+    bounds = block_bounds(src.shape[0], num_ranks)
     return [
         (src[bounds[r] : bounds[r + 1]], dst[bounds[r] : bounds[r + 1]])
         for r in range(num_ranks)
@@ -45,8 +65,6 @@ def partition_edges_hash(
     already approximates the global components — the distributed
     counterpart of neighbour sampling's evenly-spread edge budget.
     """
-    _check(num_ranks)
     src, dst = graph.undirected_edge_array()
-    rng = np.random.default_rng(seed)
-    owner = rng.integers(0, num_ranks, size=src.shape[0])
+    owner = hash_owners(src.shape[0], num_ranks, seed=seed)
     return [(src[owner == r], dst[owner == r]) for r in range(num_ranks)]

@@ -46,6 +46,7 @@ from typing import Callable
 
 from repro.constants import VERTEX_DTYPE
 from repro.engine.backends import (
+    DistributedBackend,
     ExecutionBackend,
     ProcessParallelBackend,
     SimulatedBackend,
@@ -113,6 +114,7 @@ __all__ = [
     "VectorizedBackend",
     "SimulatedBackend",
     "ProcessParallelBackend",
+    "DistributedBackend",
     "backend_kinds",
     "make_backend",
     "resolve_label_dtype",
@@ -136,6 +138,7 @@ def run(
     plan: str | Plan | None = None,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    ranks: int | None = None,
     profile: bool = False,
     trace: Tracer | bool | None = None,
     record: bool | str | RunLedger | None = None,
@@ -155,9 +158,10 @@ def run(
 
     ``backend`` selects the execution substrate: an
     :class:`~repro.engine.backends.ExecutionBackend` instance, a kind
-    string (``"vectorized"`` / ``"simulated"`` / ``"process"``, built via
-    :func:`~repro.engine.backends.make_backend` with ``workers`` and torn
-    down after the run), or ``None`` for a fresh
+    string (``"vectorized"`` / ``"simulated"`` / ``"process"`` /
+    ``"distributed"``, built via
+    :func:`~repro.engine.backends.make_backend` with ``workers`` /
+    ``ranks`` and torn down after the run), or ``None`` for a fresh
     :class:`~repro.engine.backends.VectorizedBackend`.  The algorithm must
     list the backend's kind in its registry metadata.
 
@@ -205,7 +209,7 @@ def run(
     if backend is None:
         backend = VectorizedBackend()
     elif isinstance(backend, str):
-        backend = make_backend(backend, workers=workers)
+        backend = make_backend(backend, workers=workers, ranks=ranks)
         owned = True
     if not spec.supports_backend(backend.kind):
         raise ConfigurationError(
@@ -254,6 +258,7 @@ def run(
             algorithm=name,
             backend=backend.kind,
             workers=getattr(backend, "workers", None),
+            ranks=getattr(backend, "ranks", None),
         )
         result.trace = trace_obj
         result.phase_seconds = trace_obj.phase_seconds()
@@ -264,7 +269,10 @@ def run(
             result,
             graph=graph,
             seconds=elapsed,
-            meta={"workers": getattr(backend, "workers", None)},
+            meta={
+                "workers": getattr(backend, "workers", None),
+                "ranks": getattr(backend, "ranks", None),
+            },
         )
         ledger.append(ledger_record)
         # Not a CCResult field: run identity only exists when recorded.

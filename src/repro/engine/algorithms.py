@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributed.dist_cc import distributed_components
 from repro.engine.auto import auto_components
-from repro.engine.backends import ExecutionBackend
+from repro.engine.backends import DistributedBackend, ExecutionBackend
 from repro.engine.finish import DEFAULT_ALPHA, DEFAULT_BETA
 from repro.engine.plan import PLAN_BACKENDS, run_plan
 from repro.engine.registry import register
@@ -149,23 +148,40 @@ def _run_auto(graph: CSRGraph, backend: ExecutionBackend, **params) -> CCResult:
 
 @register(
     "distributed",
-    description="distributed forest reduction over a simulated "
-    "communicator (local Afforest + log2(R) merge supersteps)",
+    description="delta-exchange fastsv over simulated ranks (edge shards "
+    "+ BSP supersteps shipping only changed labels)",
 )
 def _run_distributed(
-    graph: CSRGraph, backend: ExecutionBackend, **params
+    graph: CSRGraph,
+    backend: ExecutionBackend,
+    *,
+    num_ranks: int = 4,
+    partition: str = "block",
+    **params,
 ) -> CCResult:
-    """Engine entry point for distributed CC (converts DistCCResult)."""
-    res = distributed_components(graph, **params)
-    return CCResult(
-        labels=res.labels,
-        counters={
-            "num_ranks": res.num_ranks,
-            "merge_rounds": res.merge_rounds,
-            "bytes_sent": res.comm_stats.bytes_sent,
-            "messages": res.comm_stats.messages,
-        },
+    """Engine entry point for distributed CC.
+
+    Runs the ``fastsv`` finish on an internally constructed
+    :class:`~repro.engine.backends.DistributedBackend` so the historical
+    ``engine.run("distributed", g, num_ranks=8)`` call keeps working; the
+    caller-selected outer backend only hosts instrumentation.  Prefer
+    ``engine.run(g, plan=..., backend="distributed", ranks=R)`` in new
+    code — it opens the whole plan space.
+    """
+    dist = DistributedBackend(ranks=num_ranks, partition=partition)
+    dist.bind(backend.instr)
+    result = run_plan("none+fastsv", graph, dist, **params)
+    result.labels = dist.detach_labels(result.labels)
+    stats = dist.comm.stats
+    result.counters.update(
+        {
+            "num_ranks": num_ranks,
+            "merge_rounds": stats.supersteps,
+            "bytes_sent": stats.bytes_sent,
+            "messages": stats.messages,
+        }
     )
+    return result
 
 
 @register(

@@ -43,6 +43,8 @@ from repro.constants import (
 from repro.core.compress import compress_kernel
 from repro.core.link import link_batch, link_kernel
 from repro.core.sampling import approximate_largest_label
+from repro.distributed import partition as _dpart
+from repro.distributed.comm import SimulatedComm
 from repro.engine import partition as _part
 from repro.engine.bufferpool import BufferPool
 from repro.engine.instrumentation import Instrumentation
@@ -62,9 +64,11 @@ from repro.parallel.metrics import RunStats
 __all__ = [
     "ExecutionBackend",
     "HOOKING_MODES",
+    "PARTITION_MODES",
     "VectorizedBackend",
     "SimulatedBackend",
     "ProcessParallelBackend",
+    "DistributedBackend",
     "backend_kinds",
     "make_backend",
     "resolve_label_dtype",
@@ -1315,17 +1319,25 @@ class ProcessParallelBackend(ExecutionBackend):
     def init_labels(
         self, n: int, *, phase: str = "I", fill: int | None = None
     ) -> np.ndarray:
-        """Fresh shared-memory identity (or constant-``fill``) array.
+        """Shared-memory identity (or constant-``fill``) array.
 
         The segment is created at the resolved label width — workers
         attach through the spec's dtype string, so a narrowed π narrows
         the whole cross-process hot path.  Segment creation is a real
-        allocation, so it lands in ``bytes_allocated``.
+        allocation, so it lands in ``bytes_allocated``; a warm backend
+        whose previous run had the same ``n`` and width reinitialises the
+        existing segment in place instead (``engine.run`` copies labels
+        out before returning, so reuse never aliases a caller's result).
         """
         dtype = self._label_dtype(n)
-        self._release(self._pi)
-        self._pi = SharedVector(n, dtype=dtype)
-        self._count_alloc(self._pi.array.nbytes)
+        if (
+            self._pi is None
+            or self._pi.length != n
+            or self._pi.array.dtype != dtype
+        ):
+            self._release(self._pi)
+            self._pi = SharedVector(n, dtype=dtype)
+            self._count_alloc(self._pi.array.nbytes)
         pi = self._pi.array
         if fill is not None:
             pi[:] = fill
@@ -1680,13 +1692,685 @@ class ProcessParallelBackend(ExecutionBackend):
             pass
 
 
+#: CSR sharding modes of the distributed backend (1-D edge partitioning).
+PARTITION_MODES = ("block", "hash")
+
+
+def _dedup_min(idx: np.ndarray, val: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate delta indices, keeping the minimum value — what
+    a rank does before putting its candidate list on the wire."""
+    uniq, inv = np.unique(idx, return_inverse=True)
+    if uniq.shape[0] == idx.shape[0]:
+        return idx, val
+    out = np.full(uniq.shape[0], np.iinfo(val.dtype).max, dtype=val.dtype)
+    np.minimum.at(out, inv, val)
+    return uniq, out
+
+
+class DistributedBackend(VectorizedBackend):
+    """BSP delta-exchange substrate: ``ranks`` simulated machines, each
+    holding a shard of the edges and a full replica of π.
+
+    Each primitive is executed as one or more supersteps.  Within a
+    superstep every rank gathers candidate hooks *against the replicated
+    pre-superstep snapshot* of π and keeps only candidates that improve on
+    it; the candidates then cross the communicator in two phases — an
+    ``alltoallv`` routing each delta to the owner rank of its vertex, and
+    an owner broadcast of the merged changes (sparse index+value pairs, or
+    the whole owned block once the change density passes 1/2) — before
+    every replica applies the same scatter-min.  Because the vectorized
+    kernels also gather all candidates before any write, the merged π is
+    bit-identical to the single-machine result, round for round.
+
+    Vertex ownership is an even 1-D block map (``block_bounds``); edge
+    sharding follows ``partition`` — ``block`` keeps CSR row locality per
+    rank (``partition_csr_blocks``), ``hash`` spreads edges pseudo-randomly
+    (``hash_owners``).  Pure replica-local work (compression, pointer
+    jumps, the giant-component probe) is inherited from the vectorized
+    substrate and costs no traffic; all bytes that do cross ranks flow
+    through ``self.comm`` and surface as ``comm_*`` counters.
+    """
+
+    kind = "distributed"
+
+    def __init__(
+        self,
+        ranks: int = 4,
+        *,
+        partition: str = "block",
+        comm: SimulatedComm | None = None,
+        label_dtype: str = "auto",
+    ) -> None:
+        super().__init__(label_dtype=label_dtype)
+        if ranks < 1:
+            raise ConfigurationError(f"ranks must be >= 1, got {ranks}")
+        if partition not in PARTITION_MODES:
+            raise ConfigurationError(
+                f"unknown partition mode {partition!r}; "
+                f"available: {list(PARTITION_MODES)}"
+            )
+        if comm is not None and comm.num_ranks != ranks:
+            raise ConfigurationError(
+                f"communicator has {comm.num_ranks} ranks, expected {ranks}"
+            )
+        self.ranks = ranks
+        self.partition = partition
+        self.comm = comm if comm is not None else SimulatedComm(ranks)
+        # Replica state as of the last barrier: driver-side writes
+        # (the BFS pipelines seed ``pi[cursor] = label`` directly) are
+        # detected against it and charged as a root broadcast.
+        self._shadow: np.ndarray | None = None
+        # Vertex-ownership cut points, cached per n.
+        self._bounds_n = -1
+        self._bounds: np.ndarray | None = None
+        # Per-graph edge shards (identity-cached like ``_edges``).
+        self._shard_graph: CSRGraph | None = None
+        self._shards: list[tuple[np.ndarray, np.ndarray]] | None = None
+        self._shard_owner: np.ndarray | None = None
+        # Watermarks for flushing CommStats into the run's counters (the
+        # comm object outlives runs; counters must see per-run deltas).
+        self._seen_bytes = 0
+        self._seen_msgs = 0
+        self._seen_steps = 0
+        self._seen_pair: dict[tuple[int, int], int] = {}
+
+    # -- sharding -------------------------------------------------------- #
+
+    def _vertex_bounds(self, n: int) -> np.ndarray:
+        if self._bounds_n != n:
+            self._bounds_n = n
+            self._bounds = _dpart.block_bounds(n, self.ranks)
+        assert self._bounds is not None
+        return self._bounds
+
+    def _graph_shards(self, graph: CSRGraph) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-rank ``(src, dst)`` directed-edge shards of ``graph``."""
+        if self._shard_graph is not graph:
+            src, dst = self._edges(graph)
+            m = int(src.shape[0])
+            owner = np.empty(m, dtype=np.int64)
+            if self.partition == "hash":
+                owner[:] = _dpart.hash_owners(m, self.ranks)
+                shards = [
+                    (src[owner == r], dst[owner == r])
+                    for r in range(self.ranks)
+                ]
+            else:
+                blocks = _part.partition_csr_blocks(graph.indptr, self.ranks)
+                shards = []
+                for r, blk in enumerate(blocks):
+                    owner[blk.e_lo : blk.e_hi] = r
+                    shards.append(
+                        (src[blk.e_lo : blk.e_hi], dst[blk.e_lo : blk.e_hi])
+                    )
+            self._shard_graph = graph
+            self._shards = shards
+            self._shard_owner = owner
+        assert self._shards is not None
+        return self._shards
+
+    def _edge_owner(self, graph: CSRGraph) -> np.ndarray:
+        """Owner rank per flat directed-edge position."""
+        self._graph_shards(graph)
+        assert self._shard_owner is not None
+        return self._shard_owner
+
+    def shard_sizes(self, graph: CSRGraph) -> list[int]:
+        """Directed-edge count held by each rank for ``graph``."""
+        return [int(s.shape[0]) for s, _ in self._graph_shards(graph)]
+
+    def _batch_shards(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Shard an ad-hoc edge batch (sampling rounds, SV hooks) by flat
+        position, mirroring the configured partition mode."""
+        m = int(src.shape[0])
+        if self.partition == "hash":
+            owner = _dpart.hash_owners(m, self.ranks)
+            return [
+                (src[owner == r], dst[owner == r]) for r in range(self.ranks)
+            ]
+        return [
+            (src[lo:hi], dst[lo:hi])
+            for lo, hi in _part.partition_ranges(m, self.ranks)
+        ]
+
+    # -- replica consistency / traffic accounting ------------------------ #
+
+    def _flush_comm(self) -> None:
+        """Move new CommStats traffic into the run's counters."""
+        stats = self.comm.stats
+        if stats.bytes_sent != self._seen_bytes:
+            self.instr.count(
+                "comm_bytes_sent", stats.bytes_sent - self._seen_bytes
+            )
+            self._seen_bytes = stats.bytes_sent
+        if stats.messages != self._seen_msgs:
+            self.instr.count("comm_messages", stats.messages - self._seen_msgs)
+            self._seen_msgs = stats.messages
+        new_steps = stats.supersteps - self._seen_steps
+        if new_steps:
+            self.instr.count("comm_supersteps", new_steps)
+            if self.instr.metrics.enabled:
+                hist = self.instr.metrics.histogram(
+                    "comm_step_bytes", POW2_BUCKETS
+                )
+                for nbytes in stats.step_bytes[self._seen_steps :]:
+                    hist.observe(nbytes)
+            self._seen_steps = stats.supersteps
+        for pair, nbytes in stats.by_pair.items():
+            seen = self._seen_pair.get(pair, 0)
+            if nbytes != seen:
+                self.instr.count(
+                    f"comm_pair_{pair[0]}_{pair[1]}", nbytes - seen
+                )
+                self._seen_pair[pair] = nbytes
+
+    def _sync_driver(self, pi: np.ndarray) -> None:
+        """Fold driver-side writes into every replica.
+
+        Pipelines own π between primitives and may write it directly (the
+        BFS cursor seed).  Any divergence from the last-barrier shadow is
+        broadcast — sparse or dense, whichever is smaller — before the
+        primitive's supersteps run.
+        """
+        shadow = self._shadow
+        if shadow is None or shadow.shape[0] != pi.shape[0]:
+            self._shadow = pi.copy()
+            return
+        if self.ranks == 1:
+            np.copyto(shadow, pi)
+            return
+        diff = np.nonzero(pi != shadow)[0]
+        if diff.shape[0] == 0:
+            return
+        payload = self._encode(pi, diff, pi[diff], 0, int(pi.shape[0]))
+        self.comm.bcast_all({0: payload})
+        shadow[diff] = pi[diff]
+        self._flush_comm()
+
+    @staticmethod
+    def _enc_cost(k: int, span: int, item: int) -> int:
+        """Wire bytes of ``k`` changed slots in a ``span``-slot window under
+        the cheapest of the three delta encodings (see ``_encode``)."""
+        return min(2 * k * item, (span + 7) // 8 + k * item, span * item)
+
+    def _encode(
+        self, pi: np.ndarray, idx: np.ndarray, val: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Pack a delta set for the wire, cheapest encoding first.
+
+        Three tiers by measured change density: sparse ``(index, value)``
+        pairs while ``2k`` stays under the bitmap break-even, a changed-slot
+        bitmap plus packed values in the mid range, and the raw dense window
+        slice once most slots moved.  All tiers carry values at the run's
+        (possibly narrowed) label width.
+        """
+        item = pi.dtype.itemsize
+        k = int(idx.shape[0])
+        span = int(hi - lo)
+        pairs = 2 * k * item
+        bitmap = (span + 7) // 8 + k * item
+        dense = span * item
+        if pairs <= bitmap and pairs <= dense:
+            return np.concatenate([idx.astype(pi.dtype), val]).view(np.uint8)
+        if bitmap <= dense:
+            mask = np.zeros(span, dtype=bool)
+            mask[np.asarray(idx) - lo] = True
+            return np.concatenate(
+                [np.packbits(mask), np.ascontiguousarray(val).view(np.uint8)]
+            )
+        return np.ascontiguousarray(pi[lo:hi]).view(np.uint8)
+
+    def _ship_deltas(
+        self,
+        pi: np.ndarray,
+        live: list[tuple[int, np.ndarray, np.ndarray]],
+        changed: np.ndarray,
+        *,
+        already_applied: bool,
+    ) -> None:
+        """Put one exchange's deltas on the wire, cheapest strategy first.
+
+        Two strategies are costed against each other per exchange (the
+        candidate counts ride the preceding barrier as scalar metadata, so
+        every rank prices both):
+
+        - **all-gather** — every rank broadcasts its own candidate deltas;
+          peers merge locally.  One superstep; total bytes grow with the
+          raw candidate volume times ``R - 1``.
+        - **owner-routed** — an ``alltoallv`` ships candidates to the owner
+          rank of each vertex, owners merge and publish only the *final*
+          changed slots.  Two supersteps, but cross-rank duplicate targets
+          collapse before the broadcast fan-out.
+
+        Sparse sweeps favour all-gather; contended early rounds with heavy
+        cross-rank duplication favour owner routing.
+        """
+        n = int(pi.shape[0])
+        item = pi.dtype.itemsize
+        bounds = self._vertex_bounds(n)
+        owner_parts: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        owner_cost = 0
+        if not already_applied:
+            for r, idx, val in live:
+                owner = np.searchsorted(bounds, idx, side="right") - 1
+                for dest in np.unique(owner):
+                    if dest == r:
+                        continue
+                    sel = owner == dest
+                    owner_parts[(r, int(dest))] = (idx[sel], val[sel])
+                    owner_cost += self._enc_cost(
+                        int(np.count_nonzero(sel)),
+                        int(bounds[dest + 1] - bounds[dest]),
+                        item,
+                    )
+        pub: dict[int, np.ndarray] = {}
+        if changed.shape[0]:
+            owner_c = np.searchsorted(bounds, changed, side="right") - 1
+            for root in range(self.ranks):
+                sel = changed[owner_c == root]
+                if sel.shape[0]:
+                    pub[root] = sel
+                    owner_cost += (self.ranks - 1) * self._enc_cost(
+                        int(sel.shape[0]),
+                        int(bounds[root + 1] - bounds[root]),
+                        item,
+                    )
+        gather_cost = sum(
+            (self.ranks - 1) * self._enc_cost(int(idx.shape[0]), n, item)
+            for _, idx, _ in live
+        )
+        if gather_cost <= owner_cost:
+            self.comm.bcast_all(
+                {
+                    r: self._encode(pi, idx, val, 0, n)
+                    for r, idx, val in live
+                }
+            )
+            return
+        if owner_parts:
+            self.comm.alltoallv(
+                {
+                    (r, dest): self._encode(
+                        pi, idx, val, int(bounds[dest]), int(bounds[dest + 1])
+                    )
+                    for (r, dest), (idx, val) in owner_parts.items()
+                }
+            )
+        if pub:
+            self.comm.bcast_all(
+                {
+                    root: self._encode(
+                        pi,
+                        sel,
+                        pi[sel],
+                        int(bounds[root]),
+                        int(bounds[root + 1]),
+                    )
+                    for root, sel in pub.items()
+                }
+            )
+
+    def _exchange(
+        self,
+        pi: np.ndarray,
+        deltas: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        already_applied: bool = False,
+    ) -> np.ndarray:
+        """One delta exchange: merge per-rank ``(index, value)`` candidate
+        minima into every replica of π; returns the changed slot indices.
+
+        Candidates are deduplicated per rank (minimum per index) and merged
+        by scatter-min — order-independent, so every replica lands on the
+        same values the single-machine kernel produces.  The wire protocol
+        is delegated to :meth:`_ship_deltas`; an exchange with no
+        candidates anywhere is skipped entirely, so a converged sweep
+        costs zero bytes and zero barriers.
+
+        ``already_applied`` marks deltas whose writes already landed in π
+        by rank-disjoint local kernels (the bottom-up pull): owner routing
+        is free because every entry is produced on its owner rank.
+        """
+        live = [
+            (r, idx, val)
+            for r, (idx, val) in enumerate(deltas)
+            if idx.shape[0]
+        ]
+        if not live:
+            return np.empty(0, dtype=np.int64)
+        if already_applied:
+            changed = np.concatenate([idx for _, idx, _ in live])
+        else:
+            live = [
+                (r, *_dedup_min(idx, val)) for r, idx, val in live
+            ]
+            all_idx = np.concatenate([idx for _, idx, _ in live])
+            all_val = np.concatenate([val for _, _, val in live])
+            touched = np.unique(all_idx)
+            before = pi[touched]
+            np.minimum.at(pi, all_idx, all_val)
+            changed = touched[pi[touched] < before]
+        if self.ranks > 1:
+            with self.instr.timer("X"):
+                self._ship_deltas(
+                    pi, live, changed, already_applied=already_applied
+                )
+            self._flush_comm()
+        if changed.shape[0]:
+            assert self._shadow is not None
+            self._shadow[changed] = pi[changed]
+        return changed
+
+    # -- link primitives ------------------------------------------------- #
+
+    def _dist_link_batch(
+        self,
+        pi: np.ndarray,
+        shards: list[tuple[np.ndarray, np.ndarray]],
+    ) -> int:
+        """The ``link_batch`` loop as one delta-exchange superstep per
+        round: every rank climbs its shard's private ``(a, b)`` cursors on
+        the replica and ships only winning root hooks.  Round-for-round
+        identical to :func:`~repro.core.link.link_batch` because hooks are
+        gathered against the pre-round snapshot and merged by scatter-min.
+        """
+        if sum(int(s.shape[0]) for s, _ in shards) == 0:
+            return 0
+        state = [(pi[src], pi[dst]) for src, dst in shards]
+        cap = ITERATION_CAP_FACTOR * pi.shape[0] + ITERATION_CAP_SLACK
+        rounds = 0
+        while True:
+            actives = [a != b for a, b in state]
+            flags = [bool(act.any()) for act in actives]
+            any_active = self.comm.allreduce_any(flags)
+            self._flush_comm()
+            if not any_active:
+                return rounds
+            rounds += 1
+            if rounds > cap:
+                raise ConvergenceError(
+                    f"link_batch exceeded {cap} rounds — cycle in pi?"
+                )
+            deltas = []
+            climbs = []
+            for (a, b), act in zip(state, actives):
+                a = a[act]
+                b = b[act]
+                high = np.maximum(a, b)
+                low = np.minimum(a, b)
+                root = pi[high] == high
+                deltas.append((high[root], low[root]))
+                climbs.append((high, low))
+            self._exchange(pi, deltas)
+            state = [
+                (pi[pi[high]], pi[low]) for high, low in climbs
+            ]
+
+    def link_edges(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> int:
+        self._sync_driver(pi)
+        with self.instr.timer(phase):
+            return self._dist_link_batch(pi, self._batch_shards(src, dst))
+
+    def link_neighbor_round(
+        self, pi: np.ndarray, graph: CSRGraph, r: int, *, phase: str
+    ) -> int:
+        src, dst = round_edges(graph, r)
+        self._sync_driver(pi)
+        with self.instr.timer(phase):
+            return self._dist_link_batch(pi, self._batch_shards(src, dst))
+
+    def link_remaining(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        start: int,
+        largest: int | None,
+        *,
+        phase: str,
+    ) -> tuple[int, int, int]:
+        self._sync_driver(pi)
+        if largest is not None:
+            verts = np.nonzero(pi != largest)[0].astype(VERTEX_DTYPE)
+            deg = np.asarray(graph.degree())
+            skipped_verts = np.nonzero(pi == largest)[0]
+            skipped = int(np.maximum(deg[skipped_verts] - start, 0).sum())
+        else:
+            verts = np.arange(pi.shape[0], dtype=VERTEX_DTYPE)
+            skipped = 0
+        with self.instr.timer(f"{phase}-gather"):
+            src, dst = remaining_edges(graph, verts, start)
+        with self.instr.timer(phase):
+            rounds = self._dist_link_batch(
+                pi, self._batch_shards(src, dst)
+            )
+        return int(src.shape[0]), skipped, rounds
+
+    # -- replica-local primitives ---------------------------------------- #
+
+    def init_labels(
+        self, n: int, *, phase: str = "I", fill: int | None = None
+    ) -> np.ndarray:
+        # The identity (or constant) seed is generated locally on every
+        # rank — no traffic; the shadow records the common starting state.
+        pi = super().init_labels(n, phase=phase, fill=fill)
+        self._shadow = pi.copy()
+        self._vertex_bounds(n)
+        return pi
+
+    def compress(self, pi: np.ndarray, *, phase: str) -> int:
+        # Pointer doubling reads/writes only the local replica: since every
+        # rank holds the same π, all replicas converge identically for free.
+        self._sync_driver(pi)
+        passes = super().compress(pi, phase=phase)
+        assert self._shadow is not None
+        np.copyto(self._shadow, pi)
+        return passes
+
+    def shortcut_step(self, pi: np.ndarray, *, phase: str) -> None:
+        self._sync_driver(pi)
+        super().shortcut_step(pi, phase=phase)
+        assert self._shadow is not None
+        np.copyto(self._shadow, pi)
+
+    def find_largest(
+        self,
+        pi: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        *,
+        phase: str,
+    ) -> int:
+        # Every rank holds the replica and the run's seeded RNG stream, so
+        # the probe is rank-local and consumes identical RNG state.
+        self._sync_driver(pi)
+        return super().find_largest(pi, sample_size, rng, phase=phase)
+
+    # -- sweep primitives ------------------------------------------------- #
+
+    def hook_pass(
+        self, pi: np.ndarray, src: np.ndarray, dst: np.ndarray, *, phase: str
+    ) -> bool:
+        self._sync_driver(pi)
+        with self.instr.timer(phase):
+            deltas = []
+            hooked = False
+            for src_r, dst_r in self._batch_shards(src, dst):
+                cu = pi[src_r]
+                cv = pi[dst_r]
+                mask = (cu < cv) & (pi[cv] == cv)
+                if mask.any():
+                    hooked = True
+                    if self.instr.metrics.enabled:
+                        self.instr.metrics.histogram(
+                            "hook_distance", POW2_BUCKETS
+                        ).observe_many(cv[mask] - cu[mask])
+                deltas.append((cv[mask], cu[mask]))
+            if not hooked:
+                return False
+            self._exchange(pi, deltas)
+            return True
+
+    def _sweep_exchange(
+        self, pi: np.ndarray, shards: list[tuple[np.ndarray, np.ndarray]]
+    ) -> int:
+        """One distributed min-label sweep: per-shard winning candidates
+        against the snapshot, then a delta exchange; returns the win count
+        (equal to the vectorized masked sweep's, shard-partitioned)."""
+        deltas = []
+        total = 0
+        for src_r, dst_r in shards:
+            cand = pi[src_r]
+            won = cand < pi[dst_r]
+            total += int(np.count_nonzero(won))
+            deltas.append((dst_r[won], cand[won]))
+        if total:
+            self._exchange(pi, deltas)
+        return total
+
+    def propagate_pass(
+        self, pi: np.ndarray, graph: CSRGraph, *, phase: str
+    ) -> int:
+        self._sync_driver(pi)
+        shards = self._graph_shards(graph)
+        with self.instr.timer(phase):
+            return self._sweep_exchange(pi, shards)
+
+    def fused_hook_jump(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        *,
+        hooking: str = "plain",
+        phase: str,
+    ) -> int:
+        self._sync_driver(pi)
+        shards = self._graph_shards(graph)
+        with self.instr.timer(phase):
+            changed = self._sweep_exchange(pi, shards)
+            if changed and hooking != "plain":
+                # Grandparent hooks read the *merged* post-sweep replica,
+                # matching the vectorized fused kernel's gather order.
+                deltas = []
+                for src_r, dst_r in shards:
+                    grand = pi[pi[src_r]]
+                    if hooking == "aggressive":
+                        target = dst_r
+                    else:  # stochastic: hook the destination's parent
+                        target = pi[dst_r]
+                    won = grand < pi[target]
+                    changed += int(np.count_nonzero(won))
+                    deltas.append((target[won], grand[won]))
+                self._exchange(pi, deltas)
+            if changed:
+                self._pointer_jump(pi)
+                assert self._shadow is not None
+                np.copyto(self._shadow, pi)
+            else:
+                self.instr.count("rounds_skipped")
+            self.instr.count("fused_passes")
+            return changed
+
+    # -- frontier primitives ---------------------------------------------- #
+
+    def frontier_expand(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        *,
+        phase: str,
+    ) -> np.ndarray:
+        # Frontier membership is derived from replicated label state, so
+        # the frontier itself never crosses the wire — only label deltas.
+        self._sync_driver(pi)
+        with self.instr.timer(phase):
+            empty = np.empty(0, dtype=VERTEX_DTYPE)
+            if frontier.shape[0] == 0:
+                return empty
+            indptr, indices = graph.indptr, graph.indices
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return empty
+            offsets = np.repeat(starts, counts) + segment_ranges(counts)
+            dst = indices[offsets]
+            cand = np.repeat(pi[frontier], counts)
+            owner = self._edge_owner(graph)[offsets]
+            deltas = []
+            wins = []
+            for r in range(self.ranks):
+                sel = owner == r
+                dst_r = dst[sel]
+                cand_r = cand[sel]
+                won = cand_r < pi[dst_r]
+                deltas.append((dst_r[won], cand_r[won]))
+                if won.any():
+                    wins.append(dst_r[won])
+            if not wins:
+                return empty
+            self._exchange(pi, deltas)
+            return np.unique(np.concatenate(wins)).astype(VERTEX_DTYPE)
+
+    def bottom_up_pass(
+        self,
+        pi: np.ndarray,
+        graph: CSRGraph,
+        in_frontier: np.ndarray,
+        label: int,
+        sentinel: int,
+        *,
+        phase: str,
+    ) -> tuple[np.ndarray, int, int]:
+        self._sync_driver(pi)
+        with self.instr.timer(phase):
+            bounds = self._vertex_bounds(int(pi.shape[0]))
+            founds = []
+            deltas = []
+            modeled = 0
+            gathered = 0
+            # The pull partitions by vertex-ownership block: each vertex
+            # writes only its own slot, so rank-local execution is exact
+            # and the found deltas are born on their owner ranks.
+            for r in range(self.ranks):
+                found, mod, gat = _part.bottom_up_block(
+                    pi,
+                    graph.indptr,
+                    graph.indices,
+                    in_frontier,
+                    int(bounds[r]),
+                    int(bounds[r + 1]),
+                    label,
+                    sentinel,
+                )
+                founds.append(found)
+                modeled += mod
+                gathered += gat
+                deltas.append(
+                    (
+                        found.astype(np.int64),
+                        np.full(found.shape[0], label, dtype=pi.dtype),
+                    )
+                )
+            self._exchange(pi, deltas, already_applied=True)
+            if len(founds) == 1:
+                nxt = founds[0]
+            else:
+                nxt = np.concatenate(founds).astype(VERTEX_DTYPE)
+            return nxt, modeled, gathered
+
+
 # --------------------------------------------------------------------- #
 # backend factory
 # --------------------------------------------------------------------- #
 
 #: canonical backend kinds, as accepted by :func:`make_backend`, the CLI's
 #: ``--backend`` flag, and algorithm registry metadata.
-BACKEND_KINDS = ("vectorized", "simulated", "process")
+BACKEND_KINDS = ("vectorized", "simulated", "process", "distributed")
 
 
 def backend_kinds() -> tuple[str, ...]:
@@ -1695,14 +2379,19 @@ def backend_kinds() -> tuple[str, ...]:
 
 
 def make_backend(
-    kind: str, *, workers: int | None = None, label_dtype: str = "auto"
+    kind: str,
+    *,
+    workers: int | None = None,
+    ranks: int | None = None,
+    label_dtype: str = "auto",
 ) -> ExecutionBackend:
     """Construct a backend from its registry kind.
 
     ``workers`` selects the worker count for the parallel substrates
-    (simulated machine workers / OS processes); the vectorized backend
-    ignores it.  ``label_dtype`` selects the parent-array width policy
-    (see :func:`resolve_label_dtype`).
+    (simulated machine workers / OS processes); ``ranks`` the world size
+    of the distributed substrate; the vectorized backend ignores both.
+    ``label_dtype`` selects the parent-array width policy (see
+    :func:`resolve_label_dtype`).
     """
     if kind == "vectorized":
         return VectorizedBackend(label_dtype=label_dtype)
@@ -1712,6 +2401,8 @@ def make_backend(
         )
     if kind == "process":
         return ProcessParallelBackend(workers=workers, label_dtype=label_dtype)
+    if kind == "distributed":
+        return DistributedBackend(ranks=ranks or 4, label_dtype=label_dtype)
     raise ConfigurationError(
         f"unknown backend kind {kind!r}; available: {list(BACKEND_KINDS)}"
     )

@@ -146,7 +146,10 @@ def dobfs_pipeline(
                 # and drops below n / beta (GAP's do-while hysteresis).
                 awake = frontier.shape[0]
                 while True:
-                    in_frontier = np.zeros(n, dtype=bool)
+                    # Pooled per-round mask: the pool allocates once and
+                    # every later bottom-up round reuses the same buffer.
+                    in_frontier = backend.pool.get("bu-mask", n, np.bool_)
+                    in_frontier[:] = False
                     in_frontier[frontier] = True
                     bu_steps += 1
                     phase = phase_label(

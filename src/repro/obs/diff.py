@@ -196,8 +196,21 @@ def _as_run(source: Any, label: str | None = None) -> dict[str, Any]:
 
 
 #: counters that restate wall time or identity; excluded from attribution
-#: because the phase table already tells that story.
-_NOISE_COUNTERS = frozenset({"probe_seconds_us"})
+#: because the phase table already tells that story.  The communication
+#: totals scale with the distributed world size rather than with the
+#: regression being attributed, so a ranks=2 vs ranks=4 diff would drown
+#: the clause in traffic deltas.
+_NOISE_COUNTERS = frozenset(
+    {
+        "probe_seconds_us",
+        "comm_bytes_sent",
+        "comm_messages",
+        "comm_supersteps",
+    }
+)
+
+#: name prefixes suppressed the same way (per-rank-pair traffic matrix).
+_NOISE_PREFIXES = ("comm_pair_",)
 
 
 def diff_runs(
@@ -231,6 +244,7 @@ def diff_runs(
             CounterDelta(k, float(va.get(k, 0)), float(vb.get(k, 0)))
             for k in names
             if k not in _NOISE_COUNTERS
+            and not k.startswith(_NOISE_PREFIXES)
         ]
         out = [c for c in out if c.a != c.b]
         out.sort(key=lambda c: abs(c.b - c.a), reverse=True)

@@ -1,0 +1,64 @@
+"""Tests for the distributed traffic benchmark and its gates."""
+
+from repro.bench.dist_traffic import (
+    compare_against_baseline,
+    main,
+    run_traffic,
+)
+
+
+class TestRunTraffic:
+    def test_delta_exchange_beats_reduction_baseline(self):
+        report, failures = run_traffic((2, 4))
+        assert failures == 0
+        for rec in report["records"]:
+            assert rec["bit_identical"]
+            assert rec["under_reduction_baseline"]
+            assert 0 < rec["max_rank_bytes"] < rec["reduction_baseline_bytes"]
+            assert len(rec["bytes_per_rank"]) == rec["ranks"]
+            assert rec["supersteps"] >= 1
+
+    def test_traffic_grows_with_ranks_but_total_is_recorded(self):
+        report, _ = run_traffic((2, 4))
+        by_ranks = {r["ranks"]: r for r in report["records"]}
+        assert by_ranks[4]["bytes_sent"] > by_ranks[2]["bytes_sent"]
+
+
+class TestBaselineGate:
+    def _rec(self, ranks, max_bytes):
+        return {"ranks": ranks, "max_rank_bytes": max_bytes}
+
+    def test_identical_reports_pass(self):
+        rep = {"records": [self._rec(2, 100)]}
+        failures, notes = compare_against_baseline(rep, rep)
+        assert failures == [] and notes == []
+
+    def test_drift_is_a_note_without_threshold(self):
+        failures, notes = compare_against_baseline(
+            {"records": [self._rec(2, 150)]},
+            {"records": [self._rec(2, 100)]},
+        )
+        assert failures == []
+        assert notes and "1.50x" in notes[0]
+
+    def test_threshold_makes_drift_fail(self):
+        failures, _ = compare_against_baseline(
+            {"records": [self._rec(2, 150)]},
+            {"records": [self._rec(2, 100)]},
+            fail_threshold=1.25,
+        )
+        assert failures and "ranks=2" in failures[0]
+
+    def test_missing_rank_count_fails(self):
+        failures, _ = compare_against_baseline(
+            {"records": []},
+            {"records": [self._rec(2, 100)]},
+        )
+        assert failures and "missing" in failures[0]
+
+
+def test_main_writes_report_and_passes(tmp_path, capsys):
+    out = tmp_path / "traffic.json"
+    assert main(["--ranks", "2", "--output", str(out)]) == 0
+    assert out.exists()
+    assert "ranks=2" in capsys.readouterr().out

@@ -105,6 +105,27 @@ class TestOptimizationCounters:
         # fresh bytes (the counter is absent or 0).
         assert second.counters.get("bytes_allocated", 0) == 0
 
+    def test_warm_pool_covers_dobfs_frontier_masks(self):
+        # The per-round bottom-up mask must come from the pool, not a
+        # fresh np.zeros per sweep.
+        g = uniform_random_graph(400, edge_factor=4, seed=5)
+        backend = VectorizedBackend()
+        engine.run("dobfs", g, backend=backend, profile=True)
+        second = engine.run("dobfs", g, backend=backend, profile=True)
+        assert second.counters.get("bytes_allocated", 0) == 0
+
+    def test_warm_process_backend_allocates_nothing(self):
+        # Covers the shared-memory substrate too: π segments and shared
+        # edge/frontier scratch must all be reused on a same-shape rerun.
+        from repro.engine import ProcessParallelBackend
+
+        g = uniform_random_graph(400, edge_factor=4, seed=5)
+        with ProcessParallelBackend(workers=2) as backend:
+            first = engine.run("fastsv", g, backend=backend, profile=True)
+            second = engine.run("fastsv", g, backend=backend, profile=True)
+        assert first.counters.get("bytes_allocated", 0) > 0
+        assert second.counters.get("bytes_allocated", 0) == 0
+
     def test_counters_empty_without_profiling(self, mixed_graph):
         result = engine.run("fastsv", mixed_graph)
         assert result.counters == {}

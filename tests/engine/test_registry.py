@@ -58,7 +58,12 @@ class TestMetadata:
     def test_frontier_family_supports_every_backend(self):
         for name in ("lp", "lp-datadriven", "bfs", "dobfs"):
             spec = engine.get_algorithm(name)
-            assert spec.backends == ("vectorized", "simulated", "process")
+            assert spec.backends == (
+                "vectorized",
+                "simulated",
+                "process",
+                "distributed",
+            )
 
     def test_reference_algorithms_are_vectorized_only(self):
         for name in ("sequential", "distributed"):
@@ -89,7 +94,12 @@ class TestLookup:
     def test_composed_plan_name_resolves(self):
         spec = engine.get_algorithm("kout+sv")
         assert spec.name == "kout+sv"
-        assert spec.backends == ("vectorized", "simulated", "process")
+        assert spec.backends == (
+            "vectorized",
+            "simulated",
+            "process",
+            "distributed",
+        )
         assert spec.instrumented
 
     def test_unknown_plan_phase_raises(self):

@@ -92,6 +92,57 @@ class TestDiffRuns:
         b = _run(0.1, {}, {"probe_seconds_us": 900})
         assert diff_runs(a, b).counters == []
 
+    def test_comm_counters_are_noise(self):
+        a = _run(
+            0.1,
+            {},
+            {
+                "comm_bytes_sent": 1000,
+                "comm_messages": 8,
+                "comm_supersteps": 4,
+                "comm_pair_0_1": 500,
+                "rounds_skipped": 1,
+            },
+        )
+        b = _run(
+            0.1,
+            {},
+            {
+                "comm_bytes_sent": 9000,
+                "comm_messages": 64,
+                "comm_supersteps": 4,
+                "comm_pair_0_1": 100,
+                "comm_pair_0_3": 4400,
+                "rounds_skipped": 0,
+            },
+        )
+        diff = diff_runs(a, b)
+        assert [c.name for c in diff.counters] == ["rounds_skipped"]
+
+    def test_diff_across_rank_counts_attributes_cleanly(self):
+        """ranks=2 vs ranks=4 runs differ wildly in traffic, but the
+        attribution clause must stay about phases and algorithmic
+        counters, not the comm totals."""
+        from repro import engine
+        from repro.engine.backends import DistributedBackend
+        from repro.generators import uniform_random_graph
+
+        g = uniform_random_graph(300, edge_factor=4, seed=9)
+        runs = {}
+        for ranks in (2, 4):
+            result = engine.run(
+                g,
+                plan="none+fastsv",
+                backend=DistributedBackend(ranks=ranks),
+                profile=True,
+            )
+            runs[ranks] = _run(0.1, {}, dict(result.counters))
+        assert runs[2]["counters"]["comm_bytes_sent"] != (
+            runs[4]["counters"]["comm_bytes_sent"]
+        )
+        diff = diff_runs(runs[2], runs[4])
+        assert not any(c.name.startswith("comm_") for c in diff.counters)
+
     def test_phases_sorted_by_absolute_delta(self):
         a = _run(1.0, {"A": 0.1, "B": 0.5, "C": 0.2})
         b = _run(1.0, {"A": 0.15, "B": 0.9, "C": 0.1})
